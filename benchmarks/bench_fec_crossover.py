@@ -1,0 +1,49 @@
+"""Ablation A2 — error recovery: ARQ vs FEC across loss rates (paper §2).
+
+Shape assertions: with a clean link ARQ sends fewer messages (no parity
+overhead); as the loss rate grows, FEC's recovery latency advantage takes
+over — the trade-off the paper argues mandates run-time adaptation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fec_crossover import run_recovery
+
+LOSS_POINTS = (0.0, 0.1, 0.3)
+MESSAGES = 160
+
+
+@pytest.mark.parametrize("loss", LOSS_POINTS)
+@pytest.mark.parametrize("strategy", ("arq", "fec"))
+def test_recovery_cell(benchmark, loss, strategy):
+    result = benchmark.pedantic(
+        lambda: run_recovery(loss, strategy, messages=MESSAGES, seed=7),
+        rounds=1, iterations=1)
+    assert result.delivery_ratio > 0.98  # both arms guarantee delivery
+    benchmark.extra_info["total_sent"] = result.total_sent
+    benchmark.extra_info["mean_latency_ms"] = result.mean_latency_ms
+
+
+def test_arq_cheaper_on_clean_links():
+    arq = run_recovery(0.0, "arq", messages=MESSAGES, seed=7)
+    fec = run_recovery(0.0, "fec", messages=MESSAGES, seed=7)
+    assert arq.total_sent < fec.total_sent
+    assert arq.nacks == 0
+
+
+def test_fec_latency_wins_under_loss():
+    for loss in (0.1, 0.2, 0.3):
+        arq = run_recovery(loss, "arq", messages=MESSAGES, seed=7)
+        fec = run_recovery(loss, "fec", messages=MESSAGES, seed=7)
+        assert fec.mean_latency_ms < arq.mean_latency_ms, loss
+
+
+def test_overheads_converge_as_loss_grows():
+    """ARQ's retransmission overhead approaches FEC's fixed parity cost."""
+    gap_low = run_recovery(0.02, "fec", messages=MESSAGES, seed=7).total_sent \
+        - run_recovery(0.02, "arq", messages=MESSAGES, seed=7).total_sent
+    gap_high = run_recovery(0.3, "fec", messages=MESSAGES, seed=7).total_sent \
+        - run_recovery(0.3, "arq", messages=MESSAGES, seed=7).total_sent
+    assert gap_high < gap_low

@@ -1,0 +1,45 @@
+"""Ablation A3 — flooding vs epidemic dissemination as the group grows.
+
+Shape assertions: the flooding origin's per-multicast load is exactly
+``n − 1``; gossip's worst-case per-node load stays bounded by its fanout,
+independent of ``n``; gossip delivery stays above 90 %.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.gossip_scale import run_scale
+
+GROUP_SIZES = (8, 16, 32)
+MESSAGES = 25
+
+
+@pytest.mark.parametrize("num_nodes", GROUP_SIZES)
+@pytest.mark.parametrize("strategy", ("flood", "gossip"))
+def test_scale_cell(benchmark, num_nodes, strategy):
+    result = benchmark.pedantic(
+        lambda: run_scale(num_nodes, strategy, messages=MESSAGES, seed=13),
+        rounds=1, iterations=1)
+    benchmark.extra_info["origin_per_mcast"] = \
+        result.origin_sent_per_multicast
+    benchmark.extra_info["delivery"] = result.delivery_ratio
+    if strategy == "flood":
+        assert result.origin_sent_per_multicast == num_nodes - 1
+        assert result.delivery_ratio == 1.0
+    else:
+        assert result.max_node_sent_per_multicast <= 3.5  # fanout = 3
+        assert result.delivery_ratio > 0.9
+
+
+def test_gossip_load_flat_while_flood_grows():
+    flood_loads = []
+    gossip_loads = []
+    for num_nodes in GROUP_SIZES:
+        flood_loads.append(run_scale(num_nodes, "flood", messages=MESSAGES,
+                                     seed=13).origin_sent_per_multicast)
+        gossip_loads.append(run_scale(num_nodes, "gossip", messages=MESSAGES,
+                                      seed=13).max_node_sent_per_multicast)
+    assert flood_loads == sorted(flood_loads) and \
+        flood_loads[-1] > 3 * flood_loads[0]
+    assert max(gossip_loads) - min(gossip_loads) < 1.0

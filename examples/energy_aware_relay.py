@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Energy-aware relay rotation: extending an ad hoc network's lifetime.
+
+The paper (§1, citing Wieselthier et al.) argues that *"when all
+participants execute in mobile devices, one can use information about the
+available battery at each device to increase the lifetime of the
+network"*.  Here four PDAs with heterogeneous batteries chat continuously;
+:class:`ThresholdBatteryRotationPolicy` keeps moving the Mecho relay to the
+fullest battery, and the run is compared against pinning the relay
+statically.
+
+Run with: ``python examples/energy_aware_relay.py``
+"""
+
+from repro.experiments.energy_lifetime import run_lifetime
+
+
+def main() -> None:
+    params = dict(num_nodes=4, capacity_mj=2500.0, horizon_s=900.0, seed=31)
+    print("four mobile devices, weakest battery on m0, continuous chat\n")
+    results = {}
+    for strategy in ("static", "plain", "rotating"):
+        result = run_lifetime(strategy, **params)
+        results[strategy] = result
+        print(f"{strategy:>9}: first battery died at {result.lifetime_s:5.0f}s "
+              f"({result.first_casualty}); {result.delivered_in_lifetime:,} "
+              f"messages delivered; {result.relay_switches} relay switches")
+
+    rotating = results["rotating"]
+    static = results["static"]
+    print(f"\nbattery-aware rotation extended the network lifetime "
+          f"{rotating.lifetime_s / static.lifetime_s:.1f}x over the static "
+          f"relay")
+    assert rotating.lifetime_s > results["plain"].lifetime_s > \
+        static.lifetime_s
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that the package can be installed in
+offline environments that lack the ``wheel`` package required by PEP-517
+editable builds (``python setup.py develop`` needs only setuptools).
+"""
+
+from setuptools import setup
+
+setup()

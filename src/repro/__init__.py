@@ -1,0 +1,37 @@
+"""Morpheus: context adaptation of the communication stack.
+
+A reproduction of Mocito, Rosa, Almeida, Miranda, Rodrigues & Lopes,
+*Context Adaptation of the Communication Stack* (DI-FCUL TR-05-5, 2005).
+
+Sub-packages:
+
+* :mod:`repro.kernel` — the Appia-style protocol composition/execution
+  kernel (layers, sessions, QoS, channels, typed events, XML configs);
+* :mod:`repro.simnet` — the deterministic network simulator standing in for
+  the paper's PCs + iPAQ/802.11b testbed;
+* :mod:`repro.protocols` — the group-communication suite (best-effort and
+  Mecho multicast, reliability, membership, view synchrony, ordering,
+  gossip, FEC);
+* :mod:`repro.context` — Cocaditem: context capture and dissemination;
+* :mod:`repro.core` — Core: control and reconfiguration, plus the Morpheus
+  node facade;
+* :mod:`repro.apps` — the chat application and workload drivers;
+* :mod:`repro.experiments` — harnesses regenerating the paper's figures.
+
+Quickstart::
+
+    from repro.simnet import Network, SimEngine
+    from repro.core import build_morpheus_group
+
+    engine = SimEngine()
+    network = Network(engine)
+    network.add_fixed_node("fixed-0")
+    network.add_mobile_node("mobile-0")
+    nodes = build_morpheus_group(network)
+    engine.run_until(20.0)          # context flows, Core adapts to Mecho
+    nodes["mobile-0"].send("hello")
+    engine.run_until(25.0)
+    print(nodes["fixed-0"].chat.texts())
+"""
+
+__version__ = "1.0.0"

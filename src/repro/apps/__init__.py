@@ -1,0 +1,5 @@
+"""Applications and workloads: the paper's chat demo and experiment drivers."""
+
+from repro.apps.chat import ChatAppLayer, ChatDelivery, ChatSession
+
+__all__ = ["ChatAppLayer", "ChatDelivery", "ChatSession"]

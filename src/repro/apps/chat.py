@@ -1,0 +1,129 @@
+"""The multi-user chat application (paper §4).
+
+*"Each group of users, defined from their interests, is supported by a
+different multicast group.  The application relies on the Appia group
+communication protocol suite to exchange data among the users."*
+
+:class:`ChatSession` is the top-of-stack application layer: it exposes a
+``send``/callback API, survives reconfiguration (its session is preserved
+across stack swaps via the ``app`` session label) and queues outgoing
+messages while the stack is blocked or being replaced — the user never
+observes the adaptation, which is the transparency the paper argues for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.kernel.events import ChannelClose, Direction, Event
+from repro.kernel.layer import Layer
+from repro.kernel.message import Message
+from repro.kernel.registry import register_layer
+from repro.protocols.base import GroupSession
+from repro.protocols.events import (GROUP_DEST, ApplicationMessage,
+                                    BlockEvent, LeaveRequestEvent,
+                                    QuiescentEvent, View, ViewEvent)
+
+
+@dataclass(frozen=True)
+class ChatDelivery:
+    """One message as seen by a chat user."""
+
+    source: str
+    text: str
+    room: str
+    time: float
+
+
+class ChatSession(GroupSession):
+    """Application endpoint of one chat room (= one multicast group)."""
+
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        self.room: str = layer.params.get("room", "lobby")
+        self.ready = False
+        self.history: list[ChatDelivery] = []
+        self._outbox: list[str] = []
+        self.on_message: Optional[Callable[[ChatDelivery], None]] = None
+        self.on_view_change: Optional[Callable[[View], None]] = None
+        #: Messages handed to the stack (diagnostics / workload accounting).
+        self.sent_count = 0
+
+    # -- user API ---------------------------------------------------------------
+
+    def send(self, text: str) -> None:
+        """Send ``text`` to the room; queued while the stack is unavailable."""
+        if not self.ready or not self.channels:
+            self._outbox.append(text)
+            return
+        self._transmit(text)
+
+    def leave(self) -> None:
+        """Ask the group to exclude this node."""
+        self.send_down(LeaveRequestEvent())
+
+    def texts(self) -> list[str]:
+        """All delivered message bodies, in delivery order."""
+        return [delivery.text for delivery in self.history]
+
+    # -- protocol side -------------------------------------------------------------
+
+    def on_view(self, event: ViewEvent) -> None:
+        self.ready = True
+        if self.on_view_change is not None:
+            self.on_view_change(event.view)
+        self._flush_outbox()
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, ApplicationMessage) and \
+                event.direction is Direction.UP:
+            self._deliver(event)
+            return
+        if isinstance(event, (BlockEvent, QuiescentEvent)):
+            self.ready = False
+            return  # top of stack: nowhere further up to forward
+        if isinstance(event, ChannelClose):
+            self.ready = False
+            event.go()
+            return
+        event.go()
+
+    # -- internals --------------------------------------------------------------------
+
+    def _transmit(self, text: str) -> None:
+        event = ApplicationMessage(
+            message=Message(payload={"room": self.room, "text": text}),
+            dest=GROUP_DEST)
+        self.sent_count += 1
+        self.send_down(event)
+
+    def _flush_outbox(self) -> None:
+        queued, self._outbox = self._outbox, []
+        for text in queued:
+            self._transmit(text)
+
+    def _deliver(self, event: ApplicationMessage) -> None:
+        payload = event.message.payload
+        now = 0.0
+        if self.channels:
+            now = self.channels[0].kernel.clock.now()
+        delivery = ChatDelivery(source=event.source, text=payload["text"],
+                                room=payload.get("room", self.room), time=now)
+        self.history.append(delivery)
+        if self.on_message is not None:
+            self.on_message(delivery)
+
+
+@register_layer
+class ChatAppLayer(Layer):
+    """Top-of-stack chat application layer.
+
+    Parameters: ``room`` (room name carried in every message).
+    """
+
+    layer_name = "chat_app"
+    accepted_events = (ApplicationMessage, ViewEvent, BlockEvent,
+                       QuiescentEvent)
+    provided_events = (ApplicationMessage, LeaveRequestEvent)
+    session_class = ChatSession

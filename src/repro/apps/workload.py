@@ -1,0 +1,154 @@
+"""Workload drivers and measurement probes for experiments.
+
+The paper's workload is simple — *"the exchange of 40.000 messages at the
+pace of 10 msg/s"* — but the ablations need more: Poisson arrivals,
+multiple senders, and per-delivery latency measurement.  The
+:class:`ProbeAppLayer` is a minimal top-of-stack application that records
+``(payload, source, delivery time)`` tuples, used by the mini-stack
+harnesses (FEC crossover, gossip scale) that run without the full chat app.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.kernel.events import Direction, Event
+from repro.kernel.layer import Layer
+from repro.kernel.message import Message
+from repro.kernel.registry import register_layer
+from repro.protocols.base import GroupSession
+from repro.protocols.events import (GROUP_DEST, ApplicationMessage,
+                                    BlockEvent, QuiescentEvent, ViewEvent)
+from repro.simnet.engine import SimEngine
+
+
+@dataclass(frozen=True)
+class ProbeDelivery:
+    """One recorded delivery."""
+
+    payload: object
+    source: str
+    time: float
+
+
+class ProbeSession(GroupSession):
+    """Records every delivery with its virtual timestamp."""
+
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        self.deliveries: list[ProbeDelivery] = []
+        self.sent_times: dict[object, float] = {}
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, ApplicationMessage) and \
+                event.direction is Direction.UP:
+            now = event.channel.kernel.clock.now()
+            self.deliveries.append(ProbeDelivery(
+                payload=event.message.payload, source=event.source,
+                time=now))
+            return
+        if isinstance(event, (BlockEvent, QuiescentEvent)):
+            return
+        event.go()
+
+    def send(self, payload: object) -> None:
+        """Send ``payload`` to the group, remembering the send time."""
+        now = self.channel.kernel.clock.now()
+        self.sent_times[_key(payload)] = now
+        event = ApplicationMessage(message=Message(payload=payload),
+                                   dest=GROUP_DEST)
+        self.send_down(event)
+
+    # -- analysis helpers ---------------------------------------------------
+
+    def payloads(self) -> list[object]:
+        return [delivery.payload for delivery in self.deliveries]
+
+    def latency_of(self, delivery: ProbeDelivery,
+                   sender: "ProbeSession") -> Optional[float]:
+        sent = sender.sent_times.get(_key(delivery.payload))
+        return delivery.time - sent if sent is not None else None
+
+
+def _key(payload: object):
+    try:
+        hash(payload)
+        return payload
+    except TypeError:
+        return repr(payload)
+
+
+@register_layer
+class ProbeAppLayer(Layer):
+    """Measurement application layer for experiment mini-stacks."""
+
+    layer_name = "probe_app"
+    accepted_events = (ApplicationMessage, ViewEvent, BlockEvent,
+                       QuiescentEvent)
+    provided_events = (ApplicationMessage,)
+    session_class = ProbeSession
+
+
+class PacedSender:
+    """Sends ``count`` payloads at a fixed rate — the paper's workload."""
+
+    def __init__(self, engine: SimEngine, send: Callable[[object], None],
+                 count: int, rate: float, start: float = 0.0,
+                 make_payload: Optional[Callable[[int], object]] = None) -> None:
+        self.engine = engine
+        self.send = send
+        self.count = count
+        self.interval = 1.0 / rate
+        self.start = start
+        self.make_payload = make_payload or (lambda index: f"msg-{index}")
+        self.sent = 0
+
+    def schedule_all(self) -> float:
+        """Schedule every send; returns the time of the last one."""
+        last = self.start
+        for index in range(self.count):
+            when = self.start + index * self.interval
+            self.engine.call_at(when, lambda i=index: self._fire(i))
+            last = when
+        return last
+
+    def _fire(self, index: int) -> None:
+        self.send(self.make_payload(index))
+        self.sent += 1
+
+
+class PoissonSender:
+    """Sends with exponential inter-arrival times (bursty chat traffic)."""
+
+    def __init__(self, engine: SimEngine, send: Callable[[object], None],
+                 count: int, mean_rate: float, rng: random.Random,
+                 start: float = 0.0,
+                 make_payload: Optional[Callable[[int], object]] = None) -> None:
+        self.engine = engine
+        self.send = send
+        self.count = count
+        self.mean_interval = 1.0 / mean_rate
+        self.rng = rng
+        self.start = start
+        self.make_payload = make_payload or (lambda index: f"msg-{index}")
+        self.sent = 0
+
+    def schedule_all(self) -> float:
+        """Schedule every send; returns the time of the last one."""
+        when = self.start
+        for index in range(self.count):
+            when += self.rng.expovariate(1.0 / self.mean_interval)
+            self.engine.call_at(when, lambda i=index: self._fire(i))
+        return when
+
+    def _fire(self, index: int) -> None:
+        self.send(self.make_payload(index))
+        self.sent += 1
+
+
+def multi_sender_round_robin(senders: Sequence, count: int) -> None:
+    """Distribute ``count`` sends round-robin over chat/probe sessions."""
+    for index in range(count):
+        senders[index % len(senders)].send(f"rr-{index}")

@@ -1,0 +1,121 @@
+"""Cocaditem: the Context Capture and Dissemination System (paper §3.2).
+
+A distributed component executed in each node.  The local instance samples
+its retrievers periodically, publishes the samples on the node-local topic
+bus, and multicasts the snapshot on the group-communication **control
+channel** so every other instance can republish it locally — exactly the
+paper's *"clearly simplified and non-scalable version of the
+publish-subscribe system"* that each instance *"multicasts in the control
+channel the locally collected context information"*.
+
+Implemented as a protocol layer so that it rides whatever stack the control
+channel is composed of (and shares the channel with Core, as the paper
+notes, *"for performance reasons"*).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.context.model import ContextSnapshot
+from repro.context.pubsub import TopicBus
+from repro.context.retrievers import ContextRetriever, default_retrievers
+from repro.kernel.events import Direction, Event, TimerEvent
+from repro.kernel.layer import Layer
+from repro.kernel.registry import register_layer
+from repro.protocols.base import GroupSession
+from repro.protocols.events import GROUP_DEST, ContextMessage, ViewEvent
+from repro.simnet.node import SimNode
+
+_PUBLISH_TIMER = "cocaditem-publish"
+
+
+class CocaditemSession(GroupSession):
+    """Per-node Cocaditem instance.
+
+    The hosting facade must call :meth:`attach` before the channel starts,
+    wiring in the node, the retriever set and the local topic bus.
+    """
+
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        self.publish_interval: float = float(
+            layer.params.get("publish_interval", 10.0))
+        self.on_change_only: bool = bool(
+            layer.params.get("on_change_only", False))
+        self.node: Optional[SimNode] = None
+        self.retrievers: list[ContextRetriever] = []
+        self.bus: Optional[TopicBus] = None
+        self._last_sent: Optional[dict[str, Any]] = None
+        #: Snapshots multicast on the control channel (diagnostics).
+        self.snapshots_sent = 0
+
+    def attach(self, node: SimNode, bus: TopicBus,
+               retrievers: Optional[list[ContextRetriever]] = None) -> None:
+        """Wire the session to its device, bus and retriever set."""
+        self.node = node
+        self.bus = bus
+        self.retrievers = list(retrievers) if retrievers is not None \
+            else default_retrievers()
+
+    # -- protocol ------------------------------------------------------------
+
+    def on_channel_init(self, event: Event) -> None:
+        if self.node is None or self.bus is None:
+            raise RuntimeError(
+                "CocaditemSession not attached; call attach(node, bus) "
+                "before starting the control channel")
+        self.set_periodic_timer(self.publish_interval, tag=_PUBLISH_TIMER,
+                                channel=event.channel)
+        # Seed the bus (and, once a view exists, the group) immediately.
+        self.set_timer(0.0, tag=_PUBLISH_TIMER, channel=event.channel)
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, TimerEvent):
+            if event.tag == _PUBLISH_TIMER:
+                self._collect_and_publish(event.channel)
+            return
+        if isinstance(event, ContextMessage) and \
+                event.direction is Direction.UP:
+            snapshot = ContextSnapshot.from_payload(self.payload_of(event))
+            self._republish(snapshot)
+            return
+        event.go()
+
+    # -- internals ------------------------------------------------------------
+
+    def _collect_and_publish(self, channel) -> None:
+        assert self.node is not None and self.bus is not None
+        now = channel.kernel.clock.now()
+        attributes = {retriever.attribute: retriever.sample(self.node)
+                      for retriever in self.retrievers}
+        snapshot = ContextSnapshot(self.node.node_id, now, attributes)
+        self._republish(snapshot)
+        if self.on_change_only and self._last_sent == attributes:
+            return
+        self._last_sent = dict(attributes)
+        if self.view is None:
+            return  # control group not formed yet; local bus still fed
+        message = self.control_message(ContextMessage, snapshot.to_payload(),
+                                       dest=GROUP_DEST, source=self.local)
+        self.snapshots_sent += 1
+        self.send_down(message, channel=channel)
+
+    def _republish(self, snapshot: ContextSnapshot) -> None:
+        assert self.bus is not None
+        for sample in snapshot.samples():
+            self.bus.publish(sample.topic, sample)
+
+
+@register_layer
+class CocaditemLayer(Layer):
+    """Context capture and dissemination over the control channel.
+
+    Parameters: ``publish_interval`` (seconds between snapshots),
+    ``on_change_only`` (suppress unchanged snapshots).
+    """
+
+    layer_name = "cocaditem"
+    accepted_events = (ContextMessage, TimerEvent, ViewEvent)
+    provided_events = (ContextMessage,)
+    session_class = CocaditemSession

@@ -1,0 +1,34 @@
+"""Core: control and reconfiguration (paper §3.3) plus the Morpheus facade.
+
+The control component (a layer on the shared control channel) monitors the
+distributed context and coordinates reconfiguration; local modules deploy
+new XML-described stacks after driving the data channel quiescent through a
+view-synchronous flush.
+"""
+
+from repro.core.core_layer import CoreLayer, CoreSession
+from repro.core.local_module import LocalModule
+from repro.core.morpheus import (MorpheusNode, PlainNode,
+                                 build_morpheus_group, build_plain_group)
+from repro.core.policy import (CompositePolicy, ContextDirectory,
+                               HybridMechoPolicy, LossAdaptivePolicy, Policy,
+                               ReconfigurationPlan, StaticPolicy,
+                               ThresholdBatteryRotationPolicy,
+                               best_battery_relay, lowest_id_relay)
+from repro.core.templates import (APP_LABEL, COCADITEM_LABEL, CORE_LABEL,
+                                  TRANSPORT_LABEL, VIEWSYNC_LABEL,
+                                  control_template, fec_data_template,
+                                  mecho_data_template, patch_for_view,
+                                  plain_data_template)
+
+__all__ = [
+    "CoreLayer", "CoreSession", "LocalModule",
+    "MorpheusNode", "PlainNode", "build_morpheus_group", "build_plain_group",
+    "CompositePolicy", "ContextDirectory", "HybridMechoPolicy",
+    "LossAdaptivePolicy", "Policy", "ReconfigurationPlan", "StaticPolicy",
+    "ThresholdBatteryRotationPolicy", "best_battery_relay",
+    "lowest_id_relay",
+    "APP_LABEL", "COCADITEM_LABEL", "CORE_LABEL", "TRANSPORT_LABEL",
+    "VIEWSYNC_LABEL", "control_template", "fec_data_template",
+    "mecho_data_template", "patch_for_view", "plain_data_template",
+]

@@ -1,0 +1,225 @@
+"""The Core control component (paper §3.3), as a control-channel layer.
+
+The control component monitors the distributed context (through the
+directory fed by Cocaditem) and coordinates reconfiguration: *"The current
+version of the control component is based on a coordinator,
+deterministically elected in run-time among all the members of the control
+group."*  Coordination protocol:
+
+* the coordinator periodically evaluates its policy; when the adequate
+  configuration differs from the deployed one it assigns a config id and
+  **unicasts to each participant the configuration that should be deployed
+  at that node** (an XML channel description, as in the paper);
+* each member hands the configuration to its local module (trigger view
+  change → quiesce → redeploy) and answers ``reconfig_done``;
+* the coordinator re-sends to unresponsive members every evaluation tick
+  (idempotent, config-id–tagged) and declares the configuration deployed
+  when every control-group member acked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.local_module import LocalModule
+from repro.core.policy import ContextDirectory, Policy, ReconfigurationPlan
+from repro.kernel.events import Direction, Event, TimerEvent
+from repro.kernel.layer import Layer
+from repro.kernel.registry import register_layer
+from repro.kernel.xml_config import ChannelTemplate
+from repro.protocols.base import GroupSession
+from repro.protocols.events import CoreMessage, ViewEvent
+
+_EVALUATE_TIMER = "core-evaluate"
+
+
+class CoreSession(GroupSession):
+    """Per-node Core instance (control side + member side)."""
+
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        self.evaluate_interval: float = float(
+            layer.params.get("evaluate_interval", 5.0))
+        self.local_module: Optional[LocalModule] = None
+        self.policy: Optional[Policy] = None
+        self.directory: Optional[ContextDirectory] = None
+        #: Configuration the coordinator believes is deployed everywhere.
+        self.deployed_name: str = "plain"
+        #: Invoked (name) when a reconfiguration completes group-wide.
+        self.on_reconfigured: Optional[Callable[[str], None]] = None
+
+        # Coordinator-side state.
+        self._config_id = 0
+        self._active_plan: Optional[ReconfigurationPlan] = None
+        self._acks: set[str] = set()
+        #: Completed group-wide reconfigurations (diagnostics/benches).
+        self.reconfigurations_completed = 0
+        #: Virtual timestamps of the last reconfiguration (benches).
+        self.last_reconfig_started_at: Optional[float] = None
+        self.last_reconfig_completed_at: Optional[float] = None
+
+        # Member-side state.
+        self._applying_id: Optional[int] = None
+        self._applying_name: Optional[str] = None
+        self._last_applied_id = 0
+
+    def attach(self, local_module: LocalModule, policy: Policy,
+               directory: ContextDirectory,
+               initial_config_name: str = "plain") -> None:
+        """Wire the session to its local module, policy and directory."""
+        self.local_module = local_module
+        self.policy = policy
+        self.directory = directory
+        self.deployed_name = initial_config_name
+
+    # -- protocol ---------------------------------------------------------------
+
+    def on_channel_init(self, event: Event) -> None:
+        if self.local_module is None:
+            raise RuntimeError(
+                "CoreSession not attached; call attach(...) before starting "
+                "the control channel")
+        self.set_periodic_timer(self.evaluate_interval, tag=_EVALUATE_TIMER,
+                                channel=event.channel)
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, TimerEvent):
+            if event.tag == _EVALUATE_TIMER:
+                self._evaluate(event.channel)
+            return
+        if isinstance(event, CoreMessage) and event.direction is Direction.UP:
+            self._on_message(event)
+            return
+        event.go()
+
+    # -- coordinator side ------------------------------------------------------------
+
+    @property
+    def is_control_coordinator(self) -> bool:
+        return self.view is not None and \
+            self.view.coordinator == self.local
+
+    def _evaluate(self, channel) -> None:
+        if not self.is_control_coordinator or self.policy is None or \
+                self.directory is None:
+            return
+        if self._active_plan is not None:
+            self._resend_pending(channel)
+            return
+        plan = self.policy.decide(self.directory, list(self.members))
+        if plan is None or plan.name == self.deployed_name:
+            return
+        self._start_reconfiguration(plan, channel)
+
+    def _start_reconfiguration(self, plan: ReconfigurationPlan,
+                               channel) -> None:
+        # Config ids are totally ordered across coordinator changes: a
+        # successor coordinator continues numbering above anything this
+        # member has already applied, so members never mistake the new
+        # configuration for a duplicate of an old one.
+        self._config_id = max(self._config_id, self._last_applied_id) + 1
+        self._active_plan = plan
+        self._acks = set()
+        self.last_reconfig_started_at = channel.kernel.clock.now()
+        for member in self.members:
+            self._send_config(member, channel)
+
+    def _send_config(self, member: str, channel) -> None:
+        assert self._active_plan is not None
+        template = self._active_plan.templates.get(member)
+        if template is None:
+            self._acks.add(member)  # nothing to deploy there
+            return
+        message = self.control_message(
+            CoreMessage,
+            {"kind": "reconfig", "config_id": self._config_id,
+             "name": self._active_plan.name, "xml": template.to_xml(),
+             "from": self.local},
+            dest=member, source=self.local)
+        self.send_down(message, channel=channel)
+
+    def _resend_pending(self, channel) -> None:
+        assert self._active_plan is not None
+        for member in self.members:
+            if member not in self._acks:
+                self._send_config(member, channel)
+        self._check_complete()
+
+    def _on_done(self, payload: dict) -> None:
+        if self._active_plan is None or \
+                payload["config_id"] != self._config_id:
+            return
+        self._acks.add(payload["from"])
+        self._check_complete()
+
+    def _check_complete(self) -> None:
+        if self._active_plan is None:
+            return
+        if set(self.members).issubset(self._acks):
+            self.deployed_name = self._active_plan.name
+            self._active_plan = None
+            self.reconfigurations_completed += 1
+            if self.channels:
+                self.last_reconfig_completed_at = \
+                    self.channels[0].kernel.clock.now()
+            if self.on_reconfigured is not None:
+                self.on_reconfigured(self.deployed_name)
+
+    # -- member side --------------------------------------------------------------------
+
+    def _on_message(self, event: CoreMessage) -> None:
+        payload = self.payload_of(event)
+        kind = payload["kind"]
+        if kind == "reconfig":
+            self._on_reconfig(payload, event.channel)
+        elif kind == "reconfig_done":
+            self._on_done(payload)
+
+    def _on_reconfig(self, payload: dict, channel) -> None:
+        assert self.local_module is not None
+        config_id = payload["config_id"]
+        if config_id <= self._last_applied_id:
+            self._send_done(config_id, channel)  # duplicate: re-ack
+            return
+        if config_id == self._applying_id:
+            return  # already in progress
+        self._applying_id = config_id
+        self._applying_name = payload["name"]
+        template = ChannelTemplate.from_xml(payload["xml"])
+        self.local_module.apply(
+            config_id, template,
+            done=lambda cid: self._deployed(cid, channel))
+
+    def _deployed(self, config_id: int, channel) -> None:
+        self._last_applied_id = max(self._last_applied_id, config_id)
+        if self._applying_id == config_id:
+            self._applying_id = None
+            # Every member tracks what it runs: if the coordinator fails,
+            # its successor must know the deployed configuration or it
+            # would never see a difference worth reconfiguring for.
+            if self._applying_name is not None:
+                self.deployed_name = self._applying_name
+                self._applying_name = None
+        self._send_done(config_id, channel)
+
+    def _send_done(self, config_id: int, channel) -> None:
+        assert self.view is not None
+        done = self.control_message(
+            CoreMessage,
+            {"kind": "reconfig_done", "config_id": config_id,
+             "from": self.local},
+            dest=self.view.coordinator, source=self.local)
+        self.send_down(done, channel=channel)
+
+
+@register_layer
+class CoreLayer(Layer):
+    """Control and reconfiguration component (control channel).
+
+    Parameters: ``evaluate_interval`` (policy evaluation period, seconds).
+    """
+
+    layer_name = "core"
+    accepted_events = (CoreMessage, TimerEvent, ViewEvent)
+    provided_events = (CoreMessage,)
+    session_class = CoreSession

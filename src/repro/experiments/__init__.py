@@ -1,0 +1,8 @@
+"""Experiment harnesses regenerating the paper's figures plus ablations.
+
+Each module is runnable (``python -m repro.experiments.<name>``) and is
+also wrapped by a pytest-benchmark file under ``benchmarks/``.  Import the
+experiment APIs from their modules directly
+(``repro.experiments.figure3`` etc.); this package initialiser stays empty
+so ``python -m`` execution does not double-import the harness modules.
+"""

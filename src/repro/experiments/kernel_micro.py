@@ -1,0 +1,138 @@
+"""Ablation A5 — kernel micro-costs.
+
+The kernel claims two things worth quantifying: (1) event-route
+optimization means uninterested layers cost nothing, and (2) run-time
+channel instantiation from XML — the mechanism reconfiguration rides on —
+is cheap.  This harness measures both with wall-clock micro-benchmarks
+(the only experiments in the repository that use real time).
+
+Run with: ``python -m repro.experiments.kernel_micro``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.report import format_table
+from repro.kernel import (Direction, Event, Kernel, Layer, QoS,
+                          SendableEvent, Session, register_layer,
+                          is_registered)
+from repro.kernel.xml_config import ChannelTemplate, LayerSpec
+
+
+class _HotEvent(SendableEvent):
+    """The event type the stack under test routes."""
+
+
+class _ColdEvent(SendableEvent):
+    """An event type nobody below the top accepts."""
+
+
+class _ForwardSession(Session):
+    def handle(self, event: Event) -> None:
+        event.go()
+
+
+class _InterestedLayer(Layer):
+    layer_name = "micro_interested"
+    accepted_events = (_HotEvent, _ColdEvent)
+    session_class = _ForwardSession
+
+
+class _UninterestedLayer(Layer):
+    layer_name = "micro_uninterested"
+    accepted_events = (_HotEvent,)
+    session_class = _ForwardSession
+
+
+def _register_micro_layers() -> None:
+    for cls in (_InterestedLayer, _UninterestedLayer):
+        if not is_registered(cls.name()):
+            register_layer(cls)
+
+
+@dataclass
+class MicroResult:
+    name: str
+    value: float
+    unit: str
+
+
+def routing_throughput(depth: int = 8, events: int = 20_000) -> MicroResult:
+    """Events routed per second through a ``depth``-layer stack."""
+    kernel = Kernel()
+    qos = QoS("micro", [_InterestedLayer() for _ in range(depth)])
+    channel = qos.create_channel("micro", kernel)
+    channel.start()
+    start = time.perf_counter()
+    for _ in range(events):
+        channel.insert(_HotEvent(), Direction.UP)
+    elapsed = time.perf_counter() - start
+    return MicroResult(f"routing throughput (depth={depth})",
+                       events / elapsed, "events/s")
+
+
+def route_optimization_gain(depth: int = 10,
+                            events: int = 10_000) -> MicroResult:
+    """Dispatch saving when only the top layer accepts the event type.
+
+    Routes a :class:`_ColdEvent` through a stack where just one layer
+    declared interest; reports dispatches per event (ideal: 1.0 regardless
+    of stack depth).
+    """
+    kernel = Kernel()
+    layers = [_UninterestedLayer() for _ in range(depth - 1)]
+    layers.append(_InterestedLayer())
+    qos = QoS("micro-opt", layers)
+    channel = qos.create_channel("micro-opt", kernel)
+    channel.start()
+    before = kernel.dispatched_count
+    for _ in range(events):
+        channel.insert(_ColdEvent(), Direction.UP)
+    dispatches = kernel.dispatched_count - before
+    return MicroResult(f"dispatches/event, 1 of {depth} layers interested",
+                       dispatches / events, "dispatches")
+
+
+def instantiation_latency(rounds: int = 300) -> MicroResult:
+    """Mean time to build + start + close a channel from its XML form."""
+    _register_micro_layers()
+    template = ChannelTemplate("micro-xml", tuple(
+        [LayerSpec("micro_interested") for _ in range(6)]))
+    xml = template.to_xml()
+    kernel = Kernel()
+    start = time.perf_counter()
+    for index in range(rounds):
+        parsed = ChannelTemplate.from_xml(xml)
+        channel = parsed.instantiate(kernel,
+                                     channel_name=f"micro-{index}")
+        channel.close()
+    elapsed = time.perf_counter() - start
+    return MicroResult("XML parse+instantiate+close",
+                       elapsed / rounds * 1e6, "µs/channel")
+
+
+def run_all() -> list[MicroResult]:
+    _register_micro_layers()
+    return [routing_throughput(), route_optimization_gain(),
+            instantiation_latency()]
+
+
+def format_results(results: list[MicroResult]) -> str:
+    rows = [[result.name, f"{result.value:,.1f}", result.unit]
+            for result in results]
+    return "A5 — kernel micro-costs\n" + format_table(
+        ["metric", "value", "unit"], rows)
+
+
+def main(argv: Optional[list[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.parse_args(argv)
+    print(format_results(run_all()))
+
+
+if __name__ == "__main__":
+    main()

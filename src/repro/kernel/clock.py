@@ -1,0 +1,109 @@
+"""Virtual clocks driving kernel timers.
+
+The kernel never reads the wall clock: all timing flows through a
+:class:`Clock`, which in production is backed by the discrete-event engine of
+:mod:`repro.simnet` and in unit tests by :class:`ManualClock`.  This is what
+makes whole-system runs deterministic and repeatable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Protocol
+
+
+class ClockHandle(Protocol):
+    """Handle returned by :meth:`Clock.call_later`; supports cancellation."""
+
+    def cancel(self) -> None:  # pragma: no cover - protocol declaration
+        ...
+
+
+class Clock(Protocol):
+    """Minimal virtual-time interface required by the kernel."""
+
+    def now(self) -> float:  # pragma: no cover - protocol declaration
+        """Return the current virtual time in seconds."""
+        ...
+
+    def call_later(self, delay: float,
+                   callback: Callable[[], None]) -> ClockHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        ...  # pragma: no cover - protocol declaration
+
+
+class _ManualEntry:
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: float, seq: int,
+                 callback: Callable[[], None]) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "_ManualEntry") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class ManualClock:
+    """A hand-cranked clock for unit tests.
+
+    Time only moves when :meth:`advance` (or :meth:`run_until_idle`) is
+    called; callbacks scheduled at the same instant run in scheduling order.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+        self._heap: list[_ManualEntry] = []
+        self._seq = itertools.count()
+
+    def now(self) -> float:
+        """Return the current virtual time."""
+        return self._now
+
+    def call_later(self, delay: float,
+                   callback: Callable[[], None]) -> _ManualEntry:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        entry = _ManualEntry(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def advance(self, seconds: float) -> int:
+        """Advance virtual time, firing due callbacks. Returns count fired."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds}")
+        deadline = self._now + seconds
+        fired = 0
+        while self._heap and self._heap[0].when <= deadline:
+            entry = heapq.heappop(self._heap)
+            self._now = max(self._now, entry.when)
+            if not entry.cancelled:
+                entry.callback()
+                fired += 1
+        self._now = deadline
+        return fired
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run until no scheduled callbacks remain. Returns count fired."""
+        fired = 0
+        while self._heap:
+            if fired >= max_events:
+                raise RuntimeError("ManualClock.run_until_idle: livelock?")
+            entry = heapq.heappop(self._heap)
+            self._now = max(self._now, entry.when)
+            if not entry.cancelled:
+                entry.callback()
+                fired += 1
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled scheduled callbacks."""
+        return sum(1 for entry in self._heap if not entry.cancelled)

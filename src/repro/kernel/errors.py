@@ -1,0 +1,40 @@
+"""Exception hierarchy for the protocol kernel.
+
+The kernel mirrors the error discipline of the Appia protocol kernel: misuse
+of the composition API (invalid QoS, unknown layers, double-forwarded events)
+raises early and loudly instead of corrupting channel state.
+"""
+
+from __future__ import annotations
+
+
+class KernelError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class InvalidQoSError(KernelError):
+    """A QoS composition is structurally invalid.
+
+    Raised, for example, when a layer requires an event type that no other
+    layer in the composition provides.
+    """
+
+
+class ChannelStateError(KernelError):
+    """An operation was attempted in an illegal channel lifecycle state."""
+
+
+class EventRoutingError(KernelError):
+    """An event was forwarded or inserted in an illegal way.
+
+    Typical causes: calling :meth:`Event.go` twice for the same hop, or
+    inserting an event into a channel it was not initialised for.
+    """
+
+
+class UnknownLayerError(KernelError):
+    """An XML configuration referenced a layer name that is not registered."""
+
+
+class ConfigurationError(KernelError):
+    """An XML channel description is malformed or inconsistent."""

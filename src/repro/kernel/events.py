@@ -1,0 +1,209 @@
+"""Typed events exchanged between protocol layers.
+
+Events are the only interaction mechanism between layers (paper §3.1): each
+layer declares which event types it accepts and which it provides, and the
+kernel computes, per event type, the optimized route through the stack — a
+session that did not declare interest in a type is never visited by events
+of that type.
+
+The lifecycle of an event mirrors Appia's:
+
+1. a session creates the event and injects it with
+   :meth:`~repro.kernel.session.Session.send_up` /
+   :meth:`~repro.kernel.session.Session.send_down` (or the channel inserts
+   it at an endpoint, e.g. a packet arriving from the network);
+2. the channel computes the event's route and enqueues it;
+3. each session on the route receives :meth:`handle(event)
+   <repro.kernel.session.Session.handle>` and *explicitly* calls
+   :meth:`Event.go` to forward the event to the next hop — not calling
+   ``go`` consumes the event.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.kernel.errors import EventRoutingError
+from repro.kernel.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.kernel.channel import Channel
+    from repro.kernel.session import Session
+
+_event_sequence = itertools.count()
+
+
+class Direction(enum.Enum):
+    """Direction of travel of an event through the stack."""
+
+    UP = "up"
+    DOWN = "down"
+
+    def invert(self) -> "Direction":
+        """Return the opposite direction."""
+        return Direction.DOWN if self is Direction.UP else Direction.UP
+
+
+class Event:
+    """Base class of every kernel event.
+
+    Attributes:
+        channel: the channel the event is travelling through (set on insert).
+        direction: :class:`Direction` of travel (set on insert).
+        source_session: the session that injected the event, or ``None`` for
+            endpoint insertions (network arrivals, channel lifecycle).
+    """
+
+    def __init__(self) -> None:
+        self.channel: Optional["Channel"] = None
+        self.direction: Optional[Direction] = None
+        self.source_session: Optional["Session"] = None
+        self._route: list["Session"] = []
+        self._index: int = 0
+        self._armed: bool = False  # True while parked at a session, pre-go()
+        self._seq = next(_event_sequence)
+
+    # -- kernel-internal ---------------------------------------------------
+
+    def _bind(self, channel: "Channel", direction: Direction,
+              route: list["Session"],
+              source: Optional["Session"]) -> None:
+        self.channel = channel
+        self.direction = direction
+        self.source_session = source
+        self._route = route
+        self._index = 0
+        self._armed = False
+
+    def _current_session(self) -> Optional["Session"]:
+        if 0 <= self._index < len(self._route):
+            return self._route[self._index]
+        return None
+
+    # -- public API --------------------------------------------------------
+
+    def go(self) -> None:
+        """Forward this event to the next session on its route.
+
+        Must be called at most once per hop; a second call for the same hop
+        raises :class:`~repro.kernel.errors.EventRoutingError`.  The call may
+        be deferred (e.g. a layer may hold an event and release it from a
+        timer handler), which is how blocking layers implement quiescence.
+        """
+        if self.channel is None:
+            raise EventRoutingError("event was never inserted into a channel")
+        if not self._armed:
+            raise EventRoutingError(
+                f"go() called twice (or before delivery) for {self!r}")
+        self._armed = False
+        self._index += 1
+        self.channel._continue(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        direction = self.direction.value if self.direction else "?"
+        return f"<{type(self).__name__} #{self._seq} {direction}>"
+
+
+class ChannelEvent(Event):
+    """Base for channel lifecycle events, implicitly accepted by all layers."""
+
+
+class ChannelInit(ChannelEvent):
+    """First event of a channel; travels bottom → top when the channel starts.
+
+    Sessions initialise their per-channel state when they see this event.
+    """
+
+
+class ChannelClose(ChannelEvent):
+    """Last event of a channel; travels top → bottom when the channel closes."""
+
+
+class SendableEvent(Event):
+    """An event that can cross the network.
+
+    Carries a :class:`~repro.kernel.message.Message` plus source/destination
+    addresses.  Addresses are opaque to the kernel; the simulator uses node
+    identifiers.  ``dest`` may be a single address, a tuple of addresses or a
+    group identifier, depending on the layer that interprets it.
+
+    Subclasses that represent protocol-internal traffic set
+    ``traffic_class = "control"`` so experiment counters can separate data
+    from control messages (the paper's Figure 3 counts both; footnote 1
+    breaks the adaptive version's overhead down).
+
+    Wire contract: subclasses must keep the ``(message, source, dest)``
+    constructor signature — the simulated transport reconstructs events on
+    delivery by calling ``type(event)(message=..., source=..., dest=...)``.
+    Protocol state travels in message headers, never in extra constructor
+    arguments.
+    """
+
+    #: Experiment accounting tag: ``"data"`` or ``"control"``.
+    traffic_class = "data"
+
+    def __init__(self, message: Optional[Message] = None,
+                 source: Any = None, dest: Any = None) -> None:
+        super().__init__()
+        self.message: Message = message if message is not None else Message()
+        self.source = source
+        self.dest = dest
+
+    def clone(self) -> "SendableEvent":
+        """Return an unbound copy with a deep-copied message.
+
+        Used by fan-out layers (best-effort multicast, Mecho relaying) to
+        emit one wire message per destination.
+        """
+        dup = type(self)(message=self.message.copy(),
+                         source=self.source, dest=self.dest)
+        return dup
+
+
+class EchoEvent(Event):
+    """Bounces at the end of its route, then delivers its payload event back.
+
+    When an ``EchoEvent`` falls off the end of the stack the channel re-inserts
+    the wrapped event travelling in the opposite direction from that endpoint.
+    Layers use this to probe the composition below/above them.
+    """
+
+    def __init__(self, wrapped: Event) -> None:
+        super().__init__()
+        self.wrapped = wrapped
+
+
+class TimerEvent(Event):
+    """Delivered to the session that armed the timer when its delay elapses.
+
+    Timer events do not travel the stack: their route contains only the
+    requesting session.
+    """
+
+    def __init__(self, tag: Any = None) -> None:
+        super().__init__()
+        self.tag = tag
+        #: Virtual time at which the timer fired (set by the channel).
+        self.fired_at: float = 0.0
+
+
+class PeriodicTimerEvent(TimerEvent):
+    """A timer event re-armed automatically every ``interval`` until cancelled."""
+
+    def __init__(self, tag: Any = None, interval: float = 1.0) -> None:
+        super().__init__(tag)
+        self.interval = interval
+
+
+class DebugEvent(ChannelEvent):
+    """Traverses the full stack collecting a description of each session.
+
+    Like all :class:`ChannelEvent` subclasses it is implicitly accepted by
+    every layer, so it always sees the complete composition.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lines: list[str] = []

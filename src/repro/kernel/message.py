@@ -1,0 +1,102 @@
+"""Messages carried by sendable events.
+
+Appia messages are byte buffers with a header stack: each layer pushes its
+header on the way down and pops it on the way up.  This reproduction keeps
+the same push/pop discipline but stores headers as Python objects, which is
+what makes run-time layer swap trivial (no wire-format renegotiation).  For
+experiment accounting every header contributes a size estimate so that byte
+counters in :mod:`repro.simnet.stats` remain meaningful.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Any
+
+#: Default serialized size charged for a header with no explicit estimate.
+DEFAULT_HEADER_SIZE = 8
+
+#: Size charged for payload objects that are not bytes/str.
+DEFAULT_PAYLOAD_SIZE = 32
+
+
+def estimate_size(obj: Any) -> int:
+    """Estimate the wire size, in bytes, of ``obj``.
+
+    Headers may override the estimate by exposing a ``size_bytes`` attribute
+    (either a class constant or a property).  Dataclass headers without an
+    explicit size are charged per field.
+    """
+    explicit = getattr(obj, "size_bytes", None)
+    if isinstance(explicit, int):
+        return explicit
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 4
+    if isinstance(obj, float):
+        return 8
+    if obj is None:
+        return 1
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return sum(estimate_size(getattr(obj, f.name)) for f in fields(obj)) or 1
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(estimate_size(item) for item in obj) + 2
+    if isinstance(obj, dict):
+        return sum(estimate_size(k) + estimate_size(v) for k, v in obj.items()) + 2
+    return DEFAULT_PAYLOAD_SIZE
+
+
+@dataclass
+class Message:
+    """A payload plus a stack of protocol headers.
+
+    The header stack follows Appia's discipline: :meth:`push_header` on the
+    way down the stack, :meth:`pop_header` on the way up.  Layers must pop
+    exactly the headers they pushed; violating the discipline raises
+    ``IndexError`` which surfaces composition bugs immediately.
+    """
+
+    payload: Any = b""
+    headers: list[Any] = field(default_factory=list)
+
+    def push_header(self, header: Any) -> None:
+        """Push ``header`` on top of the header stack."""
+        self.headers.append(header)
+
+    def pop_header(self) -> Any:
+        """Pop and return the top header.
+
+        Raises:
+            IndexError: if the header stack is empty.
+        """
+        return self.headers.pop()
+
+    def peek_header(self) -> Any:
+        """Return the top header without removing it."""
+        return self.headers[-1]
+
+    @property
+    def size_bytes(self) -> int:
+        """Total estimated wire size of payload plus all headers."""
+        total = estimate_size(self.payload)
+        for header in self.headers:
+            total += max(estimate_size(header), 1) + 1  # +1 framing byte
+        return total
+
+    def copy(self) -> "Message":
+        """Return a deep copy, as if the message were re-read off the wire.
+
+        Point-to-point fan-out and relaying must copy messages so that one
+        receiver popping headers does not corrupt another receiver's view.
+        """
+        return Message(payload=copy.deepcopy(self.payload),
+                       headers=copy.deepcopy(self.headers))
+
+    def __len__(self) -> int:
+        return self.size_bytes

@@ -1,0 +1,86 @@
+"""QoS: a validated composition of layers.
+
+A combination of layers constitutes a protocol stack that offers a given
+quality of service — QoS in the broad sense used by the paper (reliability,
+ordering, security, ...).  A :class:`QoS` validates the composition (every
+required event type must be provided by some layer) and acts as a factory
+for channels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.kernel.errors import InvalidQoSError
+from repro.kernel.events import (ChannelClose, ChannelEvent, ChannelInit,
+                                 EchoEvent, Event, TimerEvent)
+from repro.kernel.layer import Layer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.channel import Channel
+    from repro.kernel.scheduler import Kernel
+    from repro.kernel.session import Session
+
+#: Event types the kernel itself provides to every composition.
+KERNEL_PROVIDED: tuple[type[Event], ...] = (
+    ChannelInit, ChannelClose, ChannelEvent, TimerEvent, EchoEvent)
+
+
+class QoS:
+    """An ordered, validated stack of layers (index 0 = bottom).
+
+    Args:
+        name: diagnostic label for the composition.
+        layers: layer instances ordered bottom → top (transport first,
+            application last).
+        validate: set to ``False`` to skip requirement checking (used by
+            tests that build deliberately broken stacks).
+
+    Raises:
+        InvalidQoSError: when a layer's requirement is unsatisfiable.
+    """
+
+    def __init__(self, name: str, layers: Sequence[Layer],
+                 validate: bool = True) -> None:
+        if not layers:
+            raise InvalidQoSError(f"QoS {name!r} has no layers")
+        self.name = name
+        self.layers: tuple[Layer, ...] = tuple(layers)
+        if validate:
+            self.validate()
+
+    def validate(self) -> None:
+        """Check that every required event type is provided somewhere."""
+        provided: list[type[Event]] = list(KERNEL_PROVIDED)
+        for layer in self.layers:
+            provided.extend(layer.provided_events)
+        for layer in self.layers:
+            for needed in layer.required_events:
+                if not any(issubclass(offer, needed) or issubclass(needed, offer)
+                           for offer in provided):
+                    raise InvalidQoSError(
+                        f"QoS {self.name!r}: layer {layer.name()!r} requires "
+                        f"{needed.__name__}, provided by no layer in the "
+                        "composition")
+
+    def layer_names(self) -> list[str]:
+        """Registry names of the layers, bottom → top."""
+        return [layer.name() for layer in self.layers]
+
+    def create_channel(self, name: str, kernel: "Kernel",
+                       preset_sessions: Optional[dict[int, "Session"]] = None,
+                       ) -> "Channel":
+        """Instantiate a channel for this QoS.
+
+        Args:
+            name: channel name (unique per kernel by convention).
+            kernel: the hosting node's kernel.
+            preset_sessions: mapping of layer index → existing session, used
+                for session sharing across channels and for preserving
+                sessions across reconfiguration.
+        """
+        from repro.kernel.channel import Channel  # local import: cycle
+        return Channel(name, self, kernel, preset_sessions=preset_sessions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<QoS {self.name} [{' / '.join(self.layer_names())}]>"

@@ -1,0 +1,230 @@
+"""Forward error correction layer — the "mask the errors" alternative.
+
+The paper's motivating example for run-time adaptation (§2): *"for small
+error rates it is preferable to detect and recover (using retransmissions)
+while for larger error rates it is preferable to mask the errors (using
+forward error recovery techniques)"*.  This layer is the second arm of that
+trade-off; :mod:`repro.protocols.reliable` is the first.  The FEC-crossover
+benchmark sweeps the loss rate and reproduces the crossover.
+
+Operation: outgoing application messages are numbered and grouped into
+blocks of ``k``; after each block, ``m`` Reed–Solomon parity messages are
+multicast.  A receiver reconstructs up to ``m`` missing messages per block
+from any ``k`` received pieces — no retransmission round-trip, at the price
+of a fixed ``m/k`` bandwidth overhead.
+
+Messages are delivered in sequence order per sender; an incomplete,
+unrecoverable block is given up after ``giveup_timeout`` so later traffic
+keeps flowing (best-effort semantics, like the paper's base multicast).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.kernel.events import Direction, Event, TimerEvent
+from repro.kernel.layer import Layer
+from repro.kernel.registry import register_layer
+from repro.protocols.base import GroupSession
+from repro.protocols.events import (GROUP_DEST, ApplicationMessage,
+                                    ParityMessage, ViewEvent)
+from repro.protocols.rs_code import rs_decode, rs_encode
+
+_HEADER_TAG = "fec"
+_SWEEP_TIMER = "fec-sweep"
+_PICKLE_PROTOCOL = 4
+
+
+def _freeze(message) -> bytes:
+    """Serialize a message (payload + remaining headers) for parity math.
+
+    Headers are included so the layer composes below other header-pushing
+    layers (e.g. under :mod:`repro.protocols.reliable`, where recovered
+    messages must still carry their sequencing header).
+    """
+    return pickle.dumps((message.payload, list(message.headers)),
+                        protocol=_PICKLE_PROTOCOL)
+
+
+def _thaw(blob: bytes):
+    from repro.kernel.message import Message
+    payload, headers = pickle.loads(blob)
+    return Message(payload=payload, headers=list(headers))
+
+
+@dataclass
+class _BlockState:
+    """Receiver-side reassembly state for one (sender, block) pair."""
+
+    pieces: dict[int, bytes] = field(default_factory=dict)
+    lengths: Optional[list[int]] = None
+    delivered: set[int] = field(default_factory=set)
+    first_seen: float = 0.0
+    done: bool = False
+
+
+class FecSession(GroupSession):
+    """Block accounting on both the send and receive side."""
+
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        self.k: int = int(layer.params.get("k", 8))
+        self.m: int = int(layer.params.get("m", 2))
+        self.giveup_timeout: float = float(
+            layer.params.get("giveup_timeout", 5.0))
+        if self.k < 1 or self.m < 0 or self.k + self.m > 256:
+            raise ValueError(f"invalid FEC parameters k={self.k}, m={self.m}")
+        self._block_id = 0
+        self._position = 0
+        self._outgoing: list[bytes] = []
+        self._blocks: dict[tuple[str, int], _BlockState] = {}
+        self._timer_armed = False
+        #: Diagnostics for the crossover bench.
+        self.recovered_count = 0
+        self.given_up = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_channel_init(self, event: Event) -> None:
+        if not self._timer_armed:
+            self.set_periodic_timer(max(self.giveup_timeout / 2, 0.1),
+                                    tag=_SWEEP_TIMER, channel=event.channel)
+            self._timer_armed = True
+
+    def on_view(self, event: ViewEvent) -> None:
+        self._blocks.clear()
+        self._outgoing.clear()
+        self._block_id = 0
+        self._position = 0
+
+    # -- dispatch --------------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, TimerEvent):
+            if event.tag == _SWEEP_TIMER:
+                self._sweep(event.channel)
+            return
+        if isinstance(event, ApplicationMessage):
+            if event.direction is Direction.DOWN and self.is_group_dest(event):
+                self._outgoing_data(event)
+                return
+            if event.direction is Direction.UP:
+                self._incoming_data(event)
+                return
+        if isinstance(event, ParityMessage) and \
+                event.direction is Direction.UP:
+            self._incoming_parity(event)
+            return
+        event.go()
+
+    # -- sender side -------------------------------------------------------------
+
+    def _outgoing_data(self, event: ApplicationMessage) -> None:
+        assert self.local is not None, "fec layer used before ChannelInit"
+        blob = _freeze(event.message)
+        event.message.push_header((_HEADER_TAG, self.local, self._block_id,
+                                   self._position))
+        self._outgoing.append(blob)
+        self._position += 1
+        channel = event.channel
+        event.go()
+        if self._position == self.k:
+            self._emit_parity(channel)
+
+    def _emit_parity(self, channel) -> None:
+        parities = rs_encode(self._outgoing, self.m)
+        lengths = [len(blob) for blob in self._outgoing]
+        for parity_index, parity in enumerate(parities):
+            message = self.control_message(
+                ParityMessage,
+                {"sender": self.local, "block": self._block_id,
+                 "parity_index": parity_index, "k": self.k, "m": self.m,
+                 "lengths": lengths, "data": parity},
+                dest=GROUP_DEST, source=self.local)
+            self.send_down(message, channel=channel)
+        self._outgoing = []
+        self._position = 0
+        self._block_id += 1
+
+    # -- receiver side -----------------------------------------------------------
+
+    def _state_for(self, sender: str, block: int, channel) -> _BlockState:
+        key = (sender, block)
+        state = self._blocks.get(key)
+        if state is None:
+            state = _BlockState(first_seen=channel.kernel.clock.now())
+            self._blocks[key] = state
+        return state
+
+    def _incoming_data(self, event: ApplicationMessage) -> None:
+        tag, sender, block, position = event.message.pop_header()
+        assert tag == _HEADER_TAG, f"not a fec frame: {tag!r}"
+        if sender == self.local:
+            event.go()  # loopback: already accounted on the send side
+            return
+        state = self._state_for(sender, block, event.channel)
+        if position in state.delivered:
+            return  # duplicate
+        state.pieces[position] = _freeze(event.message)
+        state.delivered.add(position)
+        event.go()
+        self._maybe_recover(sender, block, state, event.channel)
+
+    def _incoming_parity(self, event: ParityMessage) -> None:
+        payload = self.payload_of(event)
+        sender = payload["sender"]
+        if sender == self.local:
+            return
+        state = self._state_for(sender, payload["block"], event.channel)
+        state.lengths = list(payload["lengths"])
+        state.pieces[self.k + payload["parity_index"]] = payload["data"]
+        self._maybe_recover(sender, payload["block"], state, event.channel)
+
+    def _maybe_recover(self, sender: str, block: int, state: _BlockState,
+                       channel) -> None:
+        if state.done or state.lengths is None:
+            return
+        missing = [i for i in range(self.k) if i not in state.delivered]
+        if not missing:
+            state.done = True
+            return
+        if len(state.pieces) < self.k:
+            return
+        try:
+            blocks = rs_decode(state.pieces, self.k, self.m, state.lengths)
+        except ValueError:
+            return
+        for position in missing:
+            fresh = ApplicationMessage(message=_thaw(blocks[position]),
+                                       source=sender, dest=self.local)
+            state.delivered.add(position)
+            self.recovered_count += 1
+            self.send_up(fresh, channel=channel)
+        state.done = True
+
+    def _sweep(self, channel) -> None:
+        """Forget blocks that can no longer complete."""
+        now = channel.kernel.clock.now()
+        for key, state in list(self._blocks.items()):
+            if state.done or now - state.first_seen > self.giveup_timeout:
+                if not state.done and len(state.delivered) < self.k:
+                    self.given_up += 1
+                del self._blocks[key]
+
+
+@register_layer
+class FecLayer(Layer):
+    """Reed–Solomon forward error correction over blocks of ``k`` messages.
+
+    Parameters: ``k`` (data messages per block), ``m`` (parity messages per
+    block), ``giveup_timeout`` (seconds before abandoning an incomplete
+    block).
+    """
+
+    layer_name = "fec"
+    accepted_events = (ApplicationMessage, ParityMessage, TimerEvent,
+                       ViewEvent)
+    provided_events = (ParityMessage,)
+    session_class = FecSession

@@ -1,0 +1,141 @@
+"""Heartbeat failure detector.
+
+Each member periodically multicasts a liveness beacon through the
+dissemination layer below (so in Mecho mode a mobile node's heartbeat is a
+single transmission to the relay).  A member not heard from within
+``suspect_timeout`` is reported to the membership layer above with a
+:class:`~repro.protocols.events.SuspectEvent`; hearing from it again emits
+:class:`~repro.protocols.events.UnsuspectEvent`.
+
+This is an eventually-perfect-style detector under the simulator's fair
+links: no live member is suspected forever (its heartbeats keep arriving)
+and a crashed member is eventually suspected by everyone.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.events import Event, TimerEvent
+from repro.kernel.layer import Layer
+from repro.kernel.registry import register_layer
+from repro.protocols.base import GroupSession
+from repro.protocols.events import (GROUP_DEST, HeartbeatMessage,
+                                    PathChangedEvent, SuspectEvent,
+                                    UnsuspectEvent, ViewEvent)
+
+_BEAT_TIMER = "hb-beat"
+
+
+class HeartbeatSession(GroupSession):
+    """Liveness bookkeeping per group member."""
+
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        self.interval: float = float(layer.params.get("interval", 5.0))
+        # Margin of 6 missed beacons: heartbeats are best-effort, so on a
+        # lossy wireless link (p ≈ 0.15-0.3 per hop) a 3-beacon margin
+        # yields false suspicion — and hence wrongful exclusion — with
+        # near-certainty over a long run.  Six consecutive losses at
+        # p = 0.3 is ~0.07 % per window.
+        self.suspect_timeout: float = float(
+            layer.params.get("suspect_timeout", 6.0 * self.interval))
+        self.last_heard: dict[str, float] = {}
+        self.suspected: set[str] = set()
+        self._timer_armed = False
+
+    def on_channel_init(self, event: Event) -> None:
+        if not self._timer_armed:
+            self.set_periodic_timer(self.interval, tag=_BEAT_TIMER,
+                                    channel=event.channel)
+            self._timer_armed = True
+
+    def on_view(self, event: ViewEvent) -> None:
+        now = self._now(event.channel)
+        self.last_heard = {member: now for member in event.view.members}
+        self.suspected &= set(event.view.members)
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, TimerEvent):
+            if event.tag == _BEAT_TIMER:
+                self._beat(event.channel)
+            return
+        if isinstance(event, HeartbeatMessage):
+            self._heard(event)
+            return
+        if isinstance(event, PathChangedEvent):
+            # The dissemination path changed: restart the observation
+            # window for everyone not already declared suspect.
+            now = self._now(event.channel)
+            for member in self.others():
+                if member not in self.suspected:
+                    self.last_heard[member] = now
+            return
+        event.go()
+
+    # -- internals ----------------------------------------------------------
+
+    def _now(self, channel) -> float:
+        return channel.kernel.clock.now()
+
+    def _beat(self, channel) -> None:
+        if self.local is None:
+            return
+        beacon = self.control_message(HeartbeatMessage, {"from": self.local},
+                                      dest=GROUP_DEST, source=self.local)
+        self.send_down(beacon, channel=channel)
+        self._check_expiry(channel)
+
+    def _heard(self, event: HeartbeatMessage) -> None:
+        member = self.payload_of(event)["from"]
+        self.last_heard[member] = self._now(event.channel)
+        if member in self.suspected:
+            self.suspected.discard(member)
+            # Both directions: membership above reacts, and the
+            # dissemination layer below may resume relaying through it.
+            self.send_up(UnsuspectEvent(member), channel=event.channel)
+            self.send_down(UnsuspectEvent(member), channel=event.channel)
+
+    def _check_expiry(self, channel) -> None:
+        """Suspect at most one member per tick — the longest-silent one.
+
+        Staging matters: when a Mecho relay dies, *everyone's* beacons die
+        with it and all timers expire together.  Suspecting the whole group
+        in one sweep would splinter it; suspecting the single most-silent
+        member first lets the dissemination layer's
+        :class:`PathChangedEvent` reset the remaining timers before the
+        next tick (a genuinely crashed second member simply gets suspected
+        one tick later).
+        """
+        now = self._now(channel)
+        expired: list[tuple[float, str]] = []
+        for member in self.others():
+            if member in self.suspected:
+                continue
+            heard = self.last_heard.get(member)
+            if heard is None:
+                self.last_heard[member] = now
+                continue
+            if now - heard > self.suspect_timeout:
+                expired.append((heard, member))
+        if not expired:
+            return
+        __, member = min(expired)
+        self.suspected.add(member)
+        # Both directions: membership (view change) above and the
+        # dissemination layer (relay fallback) below.
+        self.send_up(SuspectEvent(member), channel=channel)
+        self.send_down(SuspectEvent(member), channel=channel)
+
+
+@register_layer
+class HeartbeatLayer(Layer):
+    """Heartbeat-based failure detection.
+
+    Parameters: ``interval`` (beacon period, seconds), ``suspect_timeout``
+    (silence threshold; default ``3 × interval``).
+    """
+
+    layer_name = "heartbeat"
+    accepted_events = (HeartbeatMessage, PathChangedEvent, TimerEvent,
+                       ViewEvent)
+    provided_events = (HeartbeatMessage, SuspectEvent, UnsuspectEvent)
+    session_class = HeartbeatSession

@@ -1,0 +1,223 @@
+"""Mecho (Multicast Echo) — the paper's adaptive best-effort multicast (§3.4).
+
+In hybrid scenarios (mobile devices in range of a base station plus hosts on
+the fixed infrastructure) Mecho replaces the plain best-effort multicast:
+
+* a **wireless** (mobile) node sends a *single* point-to-point message to a
+  selected **fixed relay**, which *"in turn, is responsible for relaying the
+  message to the remaining participants"*;
+* a **wired** node multicasts directly (sequence of point-to-point, like the
+  baseline) and, when it is the relay, forwards mobile traffic on their
+  behalf.
+
+The mobile node's transmission count per group send therefore drops from
+``n-1`` to ``1`` — the effect measured in Figure 3 — at the expense of an
+increase on the fixed node (the paper: *"naturally, at the expense of an
+increase in the number of messages of the fixed node"*).
+
+Wire format: every Mecho transmission pushes a ``("mecho", kind, origin)``
+header.  ``kind`` is ``direct`` (deliver), ``fwd`` (relay request) or
+``relayed`` (already forwarded — deliver, do not re-forward).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.events import (Direction, Event, SendableEvent,
+                                 TimerEvent)
+from repro.kernel.layer import Layer
+from repro.kernel.registry import register_layer
+from repro.protocols.base import GroupSession
+from repro.protocols.events import (GroupSendableEvent, PathChangedEvent,
+                                    SuspectEvent, UnsuspectEvent, ViewEvent)
+
+_RELAY_PROBE_TIMER = "mecho-relay-probe"
+
+_HEADER_TAG = "mecho"
+DIRECT = "direct"
+FORWARD_REQUEST = "fwd"
+RELAYED = "relayed"
+
+MODE_WIRED = "wired"
+MODE_WIRELESS = "wireless"
+
+
+class MechoSession(GroupSession):
+    """Mecho state: operating mode and the selected relay."""
+
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        mode = layer.params.get("mode", MODE_WIRED)
+        if mode not in (MODE_WIRED, MODE_WIRELESS):
+            raise ValueError(f"invalid mecho mode {mode!r}")
+        self.mode: str = mode
+        self.relay: Optional[str] = layer.params.get("relay") or None
+        #: Members the failure detector currently suspects.  When the relay
+        #: itself is suspected, wireless nodes fall back to direct fan-out —
+        #: otherwise the group (including the view change that would repair
+        #: it) would be silenced by the dead relay.
+        self.suspected: set[str] = set()
+        #: Relay liveness probe.  The generic heartbeat detector above
+        #: cannot identify the critical-path node — right up to its death
+        #: the relay is the *freshest*-heard member, because everyone's
+        #: traffic arrives through it.  The layer that owns the relay
+        #: dependency therefore monitors it directly: every frame
+        #: transmitted by the relay refreshes this timestamp, and
+        #: ``relay_timeout`` of relay silence triggers the fall-back (and
+        #: an upward suspicion) before the heartbeat detector starts
+        #: suspecting innocent peers whose beacons died with the relay.
+        self.relay_timeout: float = float(
+            layer.params.get("relay_timeout", 4.0))
+        self._relay_heard = 0.0
+        self._probe_armed = False
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def is_relay(self) -> bool:
+        return self.local is not None and self.local == self.relay
+
+    def _push_header(self, event: SendableEvent, kind: str,
+                     origin: str) -> None:
+        event.message.push_header((_HEADER_TAG, kind, origin))
+
+    # -- event handling ----------------------------------------------------------
+
+    def on_channel_init(self, event: Event) -> None:
+        if self.mode == MODE_WIRELESS and self.relay and \
+                self.relay != self.local and not self._probe_armed:
+            self._relay_heard = event.channel.kernel.clock.now()
+            self.set_periodic_timer(max(self.relay_timeout / 4, 0.1),
+                                    tag=_RELAY_PROBE_TIMER,
+                                    channel=event.channel)
+            self._probe_armed = True
+
+    def _probe_relay(self, channel) -> None:
+        if self.relay is None or self.relay in self.suspected:
+            return
+        now = channel.kernel.clock.now()
+        if now - self._relay_heard > self.relay_timeout:
+            self.suspected.add(self.relay)
+            self.send_up(PathChangedEvent(), channel=channel)
+            self.send_up(SuspectEvent(self.relay), channel=channel)
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, TimerEvent):
+            if event.tag == _RELAY_PROBE_TIMER:
+                self._probe_relay(event.channel)
+            return
+        if isinstance(event, SuspectEvent):
+            newly = event.member not in self.suspected
+            self.suspected.add(event.member)
+            if newly and self.mode == MODE_WIRELESS and \
+                    event.member == self.relay:
+                # Falling back to direct fan-out.  Everything — including
+                # everyone's heartbeats — was routed through the dead
+                # relay, so the detector above must restart its window or
+                # it would wrongly suspect every other member next.
+                self.send_up(PathChangedEvent(), channel=event.channel)
+            return  # travelling down; the stack ends below us
+        if isinstance(event, UnsuspectEvent):
+            if event.member in self.suspected and \
+                    self.mode == MODE_WIRELESS and event.member == self.relay:
+                self._relay_heard = event.channel.kernel.clock.now()
+                self.send_up(PathChangedEvent(), channel=event.channel)
+            self.suspected.discard(event.member)
+            return
+        if not isinstance(event, GroupSendableEvent):
+            event.go()
+            return
+        if event.direction is Direction.DOWN:
+            self._outgoing(event)
+        else:
+            self._incoming(event)
+
+    # -- outgoing -------------------------------------------------------------------
+
+    def _outgoing(self, event: GroupSendableEvent) -> None:
+        assert self.local is not None, "mecho used before ChannelInit"
+        channel = event.channel
+        if not self.is_group_dest(event):
+            if event.dest == self.local:
+                # Self-addressed point-to-point: short-circuit locally.
+                loopback = event.clone()
+                loopback.source = self.local
+                self.send_up(loopback, channel=channel)
+                return
+            # Point-to-point traffic (NACKs, retransmissions, flush acks)
+            # crosses Mecho unchanged apart from the framing header.
+            wire = event.clone()
+            wire.source = event.source if event.source is not None else self.local
+            self._push_header(wire, DIRECT, wire.source)
+            self.send_down(wire, channel=channel)
+            return
+        if self.mode == MODE_WIRELESS and self.relay and \
+                self.relay != self.local and self.relay not in self.suspected:
+            # The whole point: ONE transmission, addressed to the relay.
+            wire = event.clone()
+            wire.source = self.local
+            wire.dest = self.relay
+            self._push_header(wire, FORWARD_REQUEST, self.local)
+            self.send_down(wire, channel=channel)
+        else:
+            # Wired mode (or a degenerate wireless config with no relay):
+            # fan out directly, like the baseline.
+            for member in self.others():
+                wire = event.clone()
+                wire.source = self.local
+                wire.dest = member
+                self._push_header(wire, DIRECT, self.local)
+                self.send_down(wire, channel=channel)
+        loopback = event.clone()
+        loopback.source = self.local
+        loopback.dest = self.local
+        self.send_up(loopback, channel=channel)
+
+    # -- incoming --------------------------------------------------------------------
+
+    def _incoming(self, event: GroupSendableEvent) -> None:
+        channel = event.channel
+        tag, kind, origin = event.message.pop_header()
+        assert tag == _HEADER_TAG, f"not a mecho frame: {tag!r}"
+        if kind == RELAYED or origin == self.relay:
+            # Proof of relay liveness: it transmitted this frame.
+            self._relay_heard = channel.kernel.clock.now()
+        if kind == FORWARD_REQUEST:
+            self._relay_on_behalf_of(event, origin)
+        event.source = origin
+        event.go()
+
+    def _relay_on_behalf_of(self, event: GroupSendableEvent,
+                            origin: str) -> None:
+        """Forward a mobile node's message to the remaining participants."""
+        assert self.local is not None
+        channel = event.channel
+        if not self.is_relay:
+            # A stale relay selection can address a non-relay node; deliver
+            # locally anyway (best-effort) but honour the forward request so
+            # the group still converges.
+            pass
+        for member in self.members:
+            if member == origin or member == self.local:
+                continue
+            wire = event.clone()
+            wire.source = origin
+            wire.dest = member
+            self._push_header(wire, RELAYED, origin)
+            self.send_down(wire, channel=channel)
+
+
+@register_layer
+class MechoLayer(Layer):
+    """Adaptive best-effort multicast with fixed-relay forwarding.
+
+    Parameters: ``mode`` (``wired`` | ``wireless``), ``relay`` (node id of
+    the selected fixed relay), ``members`` (bootstrap CSV), ``group``.
+    """
+
+    layer_name = "mecho"
+    accepted_events = (SendableEvent, ViewEvent, SuspectEvent,
+                       UnsuspectEvent, TimerEvent)
+    provided_events = (GroupSendableEvent, PathChangedEvent, SuspectEvent)
+    session_class = MechoSession

@@ -1,0 +1,543 @@
+"""Group membership with view-synchronous flush.
+
+Implements the membership service the paper's suite provides and the
+quiescence mechanism Core's reconfiguration depends on (§3.3): *"The
+coordinator first instructs all participants to trigger a group view change
+in the data channels.  The view-synchronous properties of the group
+communication protocol suite ensure that those channels become in a
+quiescent state."*
+
+Protocol (coordinator = lowest unsuspected member id of the current view,
+re-elected deterministically when the incumbent fails):
+
+1. ``flush_req``   — coordinator → group: start flushing towards
+   ``new_view``; every member emits :class:`BlockEvent` upwards (the
+   view-synchrony layer stops application sends), queries the reliable
+   layer for its traffic vector and answers with ``flush_ack``.
+2. ``flush_cut``   — once every surviving member acked, the coordinator
+   computes the delivery cut — for each sender, the maximum of what anyone
+   delivered and what the sender itself sent — and multicasts it.  Members
+   drive their reliable layer to the cut (NACK recovery, with the
+   coordinator as fallback source for messages from departed senders) and
+   answer ``cut_ack``.
+3. ``view_install`` — once every member reached the cut the coordinator
+   announces the new view.  Members install it (``ViewEvent`` up and down,
+   resetting sequencing and unblocking sends) — unless the change was
+   requested with ``hold=True``, in which case the stack stays blocked and
+   a :class:`QuiescentEvent` is emitted instead: the hook the Core local
+   module uses to swap the stack.
+
+Loss tolerance: every message is idempotent; the coordinator periodically
+re-announces its current phase, members periodically re-send their current
+ack, and the coordinator answers stale acks for an already-installed view
+by re-unicasting the installation.
+
+The initial view is installed from the bootstrap ``members`` parameter
+(deterministically, without communication) one virtual instant after
+``ChannelInit``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.kernel.events import Direction, Event, TimerEvent
+from repro.kernel.layer import Layer
+from repro.kernel.registry import register_layer
+from repro.protocols.base import GroupSession
+from repro.protocols.events import (GROUP_DEST, BlockEvent, CutReachedEvent,
+                                    FlushCutEvent, FlushQueryEvent,
+                                    FlushStatusEvent, LeaveRequestEvent,
+                                    MembershipMessage, QuiescentEvent,
+                                    SuspectEvent, TriggerViewChangeEvent,
+                                    UnsuspectEvent, View, ViewEvent)
+
+_INSTALL_TIMER = "gms-install-initial"
+_RETRY_TIMER = "gms-retry"
+_HOLD_RELEASE_TIMER = "gms-hold-release"
+
+#: Retry ticks a member waits in AWAIT_INSTALL of a *hold* flush before
+#: self-installing the (fully known) target view.  Needed for liveness: in
+#: a hold flush the coordinator replaces its stack shortly after announcing
+#: the installation, so a straggler that lost the announcement has nobody
+#: left to re-ask.  Self-release is safe for the straggler's deliveries —
+#: it only enters AWAIT_INSTALL after reaching the agreed cut.
+_SELF_RELEASE_TICKS = 6
+
+#: Retry ticks the hold-flush coordinator keeps re-broadcasting the
+#: installation (and stays swappable-but-unswapped) before releasing its
+#: own quiescence — a grace period that repairs single losses cheaply.
+_HOLD_GRACE_TICKS = 2
+
+
+class _Phase(enum.Enum):
+    STABLE = "stable"
+    AWAIT_STATUS = "await-status"      # member: waiting for reliable's vector
+    AWAIT_CUT = "await-cut"            # member: acked, waiting for the cut
+    REACHING_CUT = "reaching-cut"      # member: driving reliable to the cut
+    AWAIT_INSTALL = "await-install"    # member: cut acked, waiting for view
+    HELD = "held"                      # flush done, stack blocked for swap
+
+
+class MembershipSession(GroupSession):
+    """View agreement + flush state machine (member and coordinator sides)."""
+
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        self.retry_interval: float = float(
+            layer.params.get("retry_interval", 0.5))
+        self._bootstrap_view_id = int(layer.params.get("view_id", 0))
+        self.phase = _Phase.STABLE
+        self.suspected: set[str] = set()
+        self.pending_leavers: set[str] = set()
+        self.held_view: Optional[View] = None
+        #: Called with the held view when a hold-flush completes (Core hook).
+        self.quiescence_listener: Optional[Callable[[View], None]] = None
+
+        # Member-side flush context.
+        self._target_view: Optional[View] = None
+        self._target_hold = False
+        self._last_status: Optional[dict] = None
+
+        # Coordinator-side flush context.
+        self._acks: dict[str, dict] = {}
+        self._cut_acks: set[str] = set()
+        self._cut: Optional[dict[str, int]] = None
+        self._install_announced = False
+        self._last_install_payload: Optional[dict] = None
+
+        self._retry_handle = None
+        self._install_wait_ticks = 0
+        self._hold_grace_ticks = 0
+        self._pending_quiescence: Optional[View] = None
+        #: Diagnostics: flush rounds completed, for tests and benches.
+        self.flushes_completed = 0
+        self.self_released = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def on_channel_init(self, event: Event) -> None:
+        # Delay the initial install one instant so every layer finishes its
+        # own ChannelInit bookkeeping before ViewEvents start flowing.
+        self.set_timer(0.0, tag=_INSTALL_TIMER, channel=event.channel)
+
+    # -- role helpers ------------------------------------------------------------
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.view is not None and \
+            self._flush_coordinator() == self.local
+
+    def _flush_coordinator(self) -> str:
+        """The member driving changes: lowest unsuspected current member."""
+        assert self.view is not None
+        survivors = [m for m in self.view.members if m not in self.suspected]
+        return survivors[0] if survivors else self.view.coordinator
+
+    def _next_view(self) -> View:
+        assert self.view is not None
+        excluded = self.suspected | self.pending_leavers
+        if excluded & set(self.view.members):
+            return self.view.without(*excluded)
+        return self.view.refresh()
+
+    # -- event dispatch -------------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, TimerEvent):
+            self._on_timer(event)
+            return
+        if isinstance(event, MembershipMessage):
+            self._on_message(event)
+            return
+        if isinstance(event, SuspectEvent):
+            self._on_suspect(event)
+            return
+        if isinstance(event, UnsuspectEvent):
+            self.suspected.discard(event.member)
+            event.go()
+            return
+        if isinstance(event, TriggerViewChangeEvent):
+            self._on_trigger(event)
+            return
+        if isinstance(event, LeaveRequestEvent):
+            self._on_leave_request(event)
+            return
+        if isinstance(event, FlushStatusEvent):
+            self._on_flush_status(event)
+            return
+        if isinstance(event, CutReachedEvent):
+            self._on_cut_reached(event)
+            return
+        event.go()
+
+    # -- timers ------------------------------------------------------------------------
+
+    def _on_timer(self, event: TimerEvent) -> None:
+        if event.tag == _INSTALL_TIMER:
+            if self.view is None and self.members:
+                initial = View(self.group, self._bootstrap_view_id,
+                               self.members)
+                self._install(initial, hold=False, channel=event.channel)
+            return
+        if event.tag == _RETRY_TIMER:
+            self._retry_tick(event.channel)
+
+    def _arm_retry(self, channel) -> None:
+        if self._retry_handle is None:
+            self._retry_handle = self.set_periodic_timer(
+                self.retry_interval, tag=_RETRY_TIMER, channel=channel)
+
+    def _stop_retry(self) -> None:
+        if self._retry_handle is not None:
+            self._retry_handle.cancel()
+            self._retry_handle = None
+
+    def _retry_tick(self, channel) -> None:
+        """Re-announce the current coordinator phase and member ack."""
+        coordinating = self._target_view is not None and \
+            self.view is not None and self._flush_coordinator() == self.local
+        if coordinating:
+            if self._install_announced:
+                self._broadcast_install(channel)
+            elif self._cut is not None:
+                self._broadcast_cut(channel)
+            else:
+                self._broadcast_flush_req(channel)
+        if self.phase is _Phase.HELD and self._pending_quiescence is not None:
+            # Hold-flush grace period, symmetric across members so the
+            # subsequent stack swaps happen near-simultaneously (staggered
+            # boots would trip the new stacks' failure detectors).  The
+            # flush coordinator additionally re-broadcasts the installation
+            # so stragglers learn it before anybody replaces their stack.
+            if self._last_install_payload is not None and \
+                    self._last_install_payload["new_view_id"] == \
+                    self._pending_quiescence.view_id:
+                self._broadcast_install(channel)
+            self._hold_grace_ticks -= 1
+            if self._hold_grace_ticks <= 0:
+                view, self._pending_quiescence = self._pending_quiescence, None
+                self._release_quiescence(view, channel)
+            return
+        # Member side: re-send whatever proof of progress we owe.
+        if self.phase is _Phase.AWAIT_STATUS:
+            self.send_down(FlushQueryEvent(), channel=channel)
+        elif self.phase is _Phase.AWAIT_CUT and self._last_status is not None:
+            self._send_flush_ack(channel)
+        elif self.phase is _Phase.AWAIT_INSTALL:
+            self._send_cut_ack(channel)
+            self._install_wait_ticks += 1
+            if self._target_hold and \
+                    self._install_wait_ticks >= _SELF_RELEASE_TICKS and \
+                    self._target_view is not None:
+                # Liveness backstop (see _SELF_RELEASE_TICKS): the hold
+                # coordinator may already have replaced its stack; we know
+                # the agreed view and have reached the cut — install it.
+                self.self_released += 1
+                self._install(self._target_view, hold=True, channel=channel,
+                              immediate=True)
+        elif self.phase is _Phase.STABLE and not coordinating:
+            self._stop_retry()
+
+    # -- suspicion / triggers ---------------------------------------------------------
+
+    def _on_suspect(self, event: SuspectEvent) -> None:
+        self.suspected.add(event.member)
+        event.go()  # let upper layers observe the suspicion
+        if self.view is None or not self.view.includes(event.member):
+            return
+        if self._flush_coordinator() == self.local and \
+                self.phase is _Phase.STABLE:
+            self._start_flush(hold=False, channel=event.channel)
+
+    def _on_trigger(self, event: TriggerViewChangeEvent) -> None:
+        """Core's entry point; only the acting coordinator initiates."""
+        for member in event.exclude:
+            self.suspected.add(member)
+        if self.view is not None and \
+                self._flush_coordinator() == self.local and \
+                self.phase is _Phase.STABLE:
+            self._start_flush(hold=event.hold, channel=event.channel)
+
+    def _on_leave_request(self, event: LeaveRequestEvent) -> None:
+        assert self.local is not None
+        if self.view is None:
+            return
+        if self._flush_coordinator() == self.local:
+            self.pending_leavers.add(self.local)
+            if self.phase is _Phase.STABLE:
+                self._start_flush(hold=False, channel=event.channel)
+        else:
+            leave = self.control_message(
+                MembershipMessage,
+                {"kind": "leave_req", "from": self.local},
+                dest=self._flush_coordinator(), source=self.local)
+            self.send_down(leave, channel=event.channel)
+
+    # -- coordinator side ------------------------------------------------------------------
+
+    def _start_flush(self, hold: bool, channel) -> None:
+        assert self.view is not None
+        proposed = self._next_view()
+        if not proposed.members:
+            return
+        self._target_view = proposed
+        self._target_hold = hold
+        self._acks = {}
+        self._cut_acks = set()
+        self._cut = None
+        self._install_announced = False
+        self._broadcast_flush_req(channel)
+        self._arm_retry(channel)
+
+    def _broadcast_flush_req(self, channel) -> None:
+        assert self._target_view is not None
+        req = self.control_message(
+            MembershipMessage,
+            {"kind": "flush_req", "new_view_id": self._target_view.view_id,
+             "members": list(self._target_view.members),
+             "hold": self._target_hold, "from": self.local},
+            dest=GROUP_DEST, source=self.local)
+        self.send_down(req, channel=channel)
+
+    def _on_flush_ack(self, payload: dict, channel) -> None:
+        if self._answer_if_stale(payload, channel):
+            return
+        if self._target_view is None or \
+                payload["new_view_id"] != self._target_view.view_id:
+            return
+        self._acks[payload["from"]] = payload
+        needed = set(self._target_view.members)
+        if needed.issubset(self._acks) and self._cut is None:
+            self._cut = self._compute_cut()
+            self._broadcast_cut(channel)
+
+    def _compute_cut(self) -> dict[str, int]:
+        assert self.view is not None and self._target_view is not None
+        cut: dict[str, int] = {member: 0 for member in self.view.members}
+        for reporter, payload in self._acks.items():
+            cut[reporter] = max(cut.get(reporter, 0), payload["sent"])
+            for sender, high in payload["delivered"].items():
+                cut[sender] = max(cut.get(sender, 0), high)
+        return cut
+
+    def _broadcast_cut(self, channel) -> None:
+        assert self._target_view is not None and self._cut is not None
+        message = self.control_message(
+            MembershipMessage,
+            {"kind": "flush_cut", "new_view_id": self._target_view.view_id,
+             "members": list(self._target_view.members),
+             "cut": dict(self._cut), "hold": self._target_hold,
+             "from": self.local},
+            dest=GROUP_DEST, source=self.local)
+        self.send_down(message, channel=channel)
+
+    def _on_cut_ack(self, payload: dict, channel) -> None:
+        if self._answer_if_stale(payload, channel):
+            return
+        if self._target_view is None or \
+                payload["new_view_id"] != self._target_view.view_id:
+            return
+        self._cut_acks.add(payload["from"])
+        if set(self._target_view.members).issubset(self._cut_acks) and \
+                not self._install_announced:
+            self._install_announced = True
+            self._broadcast_install(channel)
+
+    def _broadcast_install(self, channel, unicast_to: Optional[str] = None) -> None:
+        if self._target_view is not None:
+            payload = {"kind": "view_install",
+                       "new_view_id": self._target_view.view_id,
+                       "members": list(self._target_view.members),
+                       "hold": self._target_hold, "from": self.local}
+            self._last_install_payload = payload
+        elif self._last_install_payload is not None:
+            payload = dict(self._last_install_payload)
+        else:
+            return
+        dest = unicast_to if unicast_to is not None else GROUP_DEST
+        message = self.control_message(MembershipMessage, dict(payload),
+                                       dest=dest, source=self.local)
+        self.send_down(message, channel=channel)
+
+    def _answer_if_stale(self, payload: dict, channel) -> bool:
+        """Re-unicast the installation to members stuck in an old flush."""
+        last = self._last_install_payload
+        if last is not None and payload["new_view_id"] == last["new_view_id"] \
+                and (self._target_view is None or
+                     self._target_view.view_id != payload["new_view_id"]):
+            self._broadcast_install(channel, unicast_to=payload["from"])
+            return True
+        return False
+
+    # -- member side ----------------------------------------------------------------------
+
+    def _on_message(self, event: MembershipMessage) -> None:
+        if event.direction is not Direction.UP:
+            event.go()
+            return
+        payload = self.payload_of(event)
+        kind = payload["kind"]
+        channel = event.channel
+        if kind == "flush_req":
+            self._member_flush_req(payload, channel)
+        elif kind == "flush_ack":
+            self._on_flush_ack(payload, channel)
+        elif kind == "flush_cut":
+            self._member_flush_cut(payload, channel)
+        elif kind == "cut_ack":
+            self._on_cut_ack(payload, channel)
+        elif kind == "view_install":
+            self._member_view_install(payload, channel)
+        elif kind == "leave_req":
+            self.pending_leavers.add(payload["from"])
+            if self.view is not None and \
+                    self._flush_coordinator() == self.local and \
+                    self.phase is _Phase.STABLE:
+                self._start_flush(hold=False, channel=channel)
+
+    def _member_flush_req(self, payload: dict, channel) -> None:
+        if self.view is None or payload["new_view_id"] <= self.view.view_id:
+            return
+        proposed = View(self.group, payload["new_view_id"],
+                        tuple(payload["members"]))
+        if self._target_view == proposed and self.phase in (
+                _Phase.AWAIT_CUT, _Phase.REACHING_CUT, _Phase.AWAIT_INSTALL):
+            return  # duplicate announcement of a flush we already joined
+        self._target_view = proposed
+        self._target_hold = bool(payload["hold"])
+        self._last_status = None
+        self.phase = _Phase.AWAIT_STATUS
+        self._arm_retry(channel)
+        self.send_up(BlockEvent(proposed.view_id), channel=channel)
+        self.send_down(FlushQueryEvent(), channel=channel)
+
+    def _on_flush_status(self, event: FlushStatusEvent) -> None:
+        if self.phase is not _Phase.AWAIT_STATUS or self._target_view is None:
+            return
+        self._last_status = {"sent": event.sent,
+                             "delivered": dict(event.delivered)}
+        self.phase = _Phase.AWAIT_CUT
+        self._send_flush_ack(event.channel)
+
+    def _send_flush_ack(self, channel) -> None:
+        assert self._target_view is not None and self._last_status is not None
+        ack = self.control_message(
+            MembershipMessage,
+            {"kind": "flush_ack", "new_view_id": self._target_view.view_id,
+             "from": self.local, "sent": self._last_status["sent"],
+             "delivered": dict(self._last_status["delivered"])},
+            dest=self._flush_coordinator(), source=self.local)
+        self.send_down(ack, channel=channel)
+
+    def _member_flush_cut(self, payload: dict, channel) -> None:
+        if self._target_view is None or \
+                payload["new_view_id"] != self._target_view.view_id:
+            return
+        if self.phase not in (_Phase.AWAIT_CUT, _Phase.AWAIT_STATUS):
+            if self.phase is _Phase.AWAIT_INSTALL:
+                self._send_cut_ack(channel)  # retry: re-ack
+            return
+        self.phase = _Phase.REACHING_CUT
+        self.send_down(FlushCutEvent(payload["cut"],
+                                     coordinator=self._flush_coordinator()),
+                       channel=channel)
+
+    def _on_cut_reached(self, event: CutReachedEvent) -> None:
+        if self.phase is not _Phase.REACHING_CUT:
+            return
+        self.phase = _Phase.AWAIT_INSTALL
+        self._send_cut_ack(event.channel)
+
+    def _send_cut_ack(self, channel) -> None:
+        assert self._target_view is not None
+        ack = self.control_message(
+            MembershipMessage,
+            {"kind": "cut_ack", "new_view_id": self._target_view.view_id,
+             "from": self.local},
+            dest=self._flush_coordinator(), source=self.local)
+        self.send_down(ack, channel=channel)
+
+    def _member_view_install(self, payload: dict, channel) -> None:
+        # Watermark covers held views too: a hold-install does not advance
+        # ``self.view`` (the new stack will absorb it), but re-broadcasts of
+        # the same installation must still be recognized as duplicates.
+        watermark = self.view.view_id if self.view is not None else -1
+        if self.held_view is not None:
+            watermark = max(watermark, self.held_view.view_id)
+        if payload["new_view_id"] <= watermark:
+            return
+        view = View(self.group, payload["new_view_id"],
+                    tuple(payload["members"]))
+        self._install(view, hold=bool(payload["hold"]), channel=channel)
+
+    # -- installation -----------------------------------------------------------------------
+
+    def _install(self, view: View, hold: bool, channel,
+                 immediate: bool = False) -> None:
+        self._target_view = None
+        self._acks = {}
+        self._cut_acks = set()
+        self._cut = None
+        self._install_announced = False
+        self._last_status = None
+        self._install_wait_ticks = 0
+        self.suspected &= set(view.members)
+        self.pending_leavers &= set(view.members)
+        self.flushes_completed += 1
+        if hold:
+            self.phase = _Phase.HELD
+            self.held_view = view
+            if immediate:
+                # Self-released straggler: already late, swap right away.
+                self._stop_retry()
+                self._release_quiescence(view, channel)
+                return
+            # Symmetric grace before releasing quiescence (and hence before
+            # the stack swap); see the HELD branch of _retry_tick.
+            self._pending_quiescence = view
+            self._hold_grace_ticks = _HOLD_GRACE_TICKS
+            self._arm_retry(channel)
+            return
+        self.phase = _Phase.STABLE
+        self.held_view = None
+        self._absorb_view(view)
+        # Down first: the layers below (reliable, dissemination) must adopt
+        # the new view/epoch *before* the view-synchrony layer above releases
+        # any queued sends — the kernel dispatches FIFO, so this ordering
+        # guarantees a released send is sequenced in the new epoch.
+        self.send_down(ViewEvent(view), channel=channel)
+        self.send_up(ViewEvent(view), channel=channel)
+        if self.local is not None and view.includes(self.local) and \
+                self._flush_coordinator() == self.local and \
+                (self.suspected or self.pending_leavers):
+            # More exclusions queued up during the flush: change again.
+            self._start_flush(hold=False, channel=channel)
+        elif not (self.suspected or self.pending_leavers):
+            self._stop_retry()
+
+    def _release_quiescence(self, view: View, channel) -> None:
+        self._stop_retry()
+        self.send_up(QuiescentEvent(view), channel=channel)
+        if self.quiescence_listener is not None:
+            self.quiescence_listener(view)
+
+
+@register_layer
+class MembershipLayer(Layer):
+    """Group membership and view-synchronous flush.
+
+    Parameters: ``members`` (bootstrap CSV), ``group``, ``view_id``
+    (bootstrap view identifier, used by reconfiguration to continue the
+    view sequence), ``retry_interval``.
+    """
+
+    layer_name = "membership"
+    accepted_events = (MembershipMessage, SuspectEvent, UnsuspectEvent,
+                       TriggerViewChangeEvent, LeaveRequestEvent,
+                       FlushStatusEvent, CutReachedEvent, TimerEvent,
+                       ViewEvent)
+    provided_events = (MembershipMessage, ViewEvent, BlockEvent,
+                       QuiescentEvent, FlushQueryEvent, FlushCutEvent)
+    session_class = MembershipSession

@@ -1,0 +1,344 @@
+"""Reliable FIFO multicast with NACK-driven retransmission.
+
+Sits directly above the dissemination layer (best-effort multicast, Mecho
+or gossip) and below the membership/view-synchrony pair.  Responsibilities:
+
+* assign per-sender sequence numbers to every
+  :class:`~repro.protocols.events.SequencedEvent` sent to the group;
+* deliver messages **per-sender FIFO** (buffer out-of-order arrivals);
+* detect gaps and recover them with point-to-point NACKs; any node that
+  already delivered a message can serve its retransmission, which is what
+  lets a flush complete even when the original sender has left;
+* answer the membership layer's flush protocol: report the local traffic
+  vector (:class:`FlushStatusEvent`), then drive delivery up to the agreed
+  cut and announce :class:`CutReachedEvent` — the view-synchrony guarantee
+  that *"those channels become in a quiescent state"* (paper §3.3).
+
+State is reset when a new view is installed: view synchrony guarantees all
+members share the same delivery cut, so sequence numbers restart at 1 and
+the retransmission store is cleared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.kernel.events import Direction, Event, TimerEvent
+from repro.kernel.layer import Layer
+from repro.kernel.message import Message
+from repro.kernel.registry import register_layer
+from repro.protocols.base import GroupSession
+from repro.protocols.events import (GROUP_DEST, CutReachedEvent,
+                                    FlushCutEvent, FlushQueryEvent,
+                                    FlushStatusEvent, NackMessage,
+                                    RetransmissionMessage, SequencedEvent,
+                                    SyncMessage, ViewEvent)
+
+_HEADER_TAG = "rm"
+_NACK_TIMER = "rm-nack-scan"
+
+#: Quiet sender periods (in gap-scan ticks) before a high-water-mark
+#: advertisement is multicast; tail-loss protection (see SyncMessage).
+#: Sized so that a steady chat stream (sends every second or faster, with
+#: the default 0.25 s scan) never triggers adverts mid-stream — only a true
+#: end-of-burst does.  A lower value would double a slow sender's traffic.
+_SYNC_AFTER_IDLE_TICKS = 8
+
+#: Times the same high-water mark is re-advertised (adverts are themselves
+#: best-effort; repetition drives the residual loss probability down).
+_SYNC_MAX_REPEATS = 8
+
+
+@dataclass
+class _StoredMessage:
+    """Snapshot of a delivered message, kept for retransmission."""
+
+    cls: type
+    message: Message
+
+
+class ReliableMulticastSession(GroupSession):
+    """Sequencing, reordering and recovery state."""
+
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        self.nack_interval: float = float(layer.params.get("nack_interval", 0.25))
+        self.max_nack_batch: int = int(layer.params.get("max_nack_batch", 64))
+        self.next_seqno = 1
+        self.delivered: dict[str, int] = {}
+        self.pending: dict[str, dict[int, _StoredMessage]] = {}
+        self.store: dict[tuple[str, int], _StoredMessage] = {}
+        self.cut: Optional[dict[str, int]] = None
+        self.cut_coordinator: Optional[str] = None
+        self.cut_announced = False
+        self._timer_armed = False
+        #: View epoch stamped on every wire artifact.  Sequence numbers
+        #: restart at each view, so a NACK, retransmission or sync from the
+        #: previous view must never be interpreted in the new one — without
+        #: the epoch tag, an in-flight retransmission arriving just after a
+        #: view change would be delivered as a (duplicate) fresh message.
+        self.epoch = -1
+        # Tail-loss protection state.
+        self._idle_ticks = 0
+        self._advertised_own = 0
+        self._sync_repeats = 0
+        self._advertised: dict[str, int] = {}
+        #: Diagnostics for tests and the control-overhead ablation.
+        self.duplicates_dropped = 0
+        self.nacks_sent = 0
+        self.retransmissions_served = 0
+        self.syncs_sent = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def on_channel_init(self, event: Event) -> None:
+        self._arm_timer(event.channel)
+
+    def _arm_timer(self, channel) -> None:
+        if not self._timer_armed:
+            self.set_periodic_timer(self.nack_interval, tag=_NACK_TIMER,
+                                    channel=channel)
+            self._timer_armed = True
+
+    def on_view(self, event: ViewEvent) -> None:
+        """New view: restart sequencing with a clean, agreed state."""
+        self.epoch = event.view.view_id
+        self.next_seqno = 1
+        self.delivered = {member: 0 for member in event.view.members}
+        self.pending.clear()
+        self.store.clear()
+        self.cut = None
+        self.cut_coordinator = None
+        self.cut_announced = False
+        self._idle_ticks = 0
+        self._advertised_own = 0
+        self._advertised.clear()
+
+    # -- dispatch --------------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, TimerEvent):
+            if event.tag == _NACK_TIMER:
+                self._scan_for_gaps(event.channel)
+            return
+        if isinstance(event, FlushQueryEvent):
+            self.send_up(FlushStatusEvent(self.next_seqno - 1, self.delivered),
+                         channel=event.channel)
+            return
+        if isinstance(event, FlushCutEvent):
+            self.cut = event.cut
+            self.cut_coordinator = event.coordinator
+            self.cut_announced = False
+            self._check_cut(event.channel)
+            self._scan_for_gaps(event.channel)
+            return
+        if isinstance(event, NackMessage) and event.direction is Direction.UP:
+            self._serve_nack(event)
+            return
+        if isinstance(event, SyncMessage) and event.direction is Direction.UP:
+            payload = self.payload_of(event)
+            if payload["from"] != self.local and \
+                    payload["epoch"] == self.epoch:
+                self._advertised[payload["from"]] = max(
+                    self._advertised.get(payload["from"], 0),
+                    payload["sent"])
+                self._scan_for_gaps(event.channel)
+            return
+        if isinstance(event, RetransmissionMessage) and \
+                event.direction is Direction.UP:
+            self._absorb_retransmission(event)
+            return
+        if isinstance(event, SequencedEvent):
+            if event.direction is Direction.DOWN and self.is_group_dest(event):
+                self._sequence_outgoing(event)
+                return
+            if event.direction is Direction.UP:
+                self._receive(event)
+                return
+        event.go()
+
+    # -- outgoing ---------------------------------------------------------------
+
+    def _sequence_outgoing(self, event: SequencedEvent) -> None:
+        assert self.local is not None, "reliable layer used before ChannelInit"
+        seqno = self.next_seqno
+        self.next_seqno += 1
+        self._idle_ticks = 0
+        event.message.push_header((_HEADER_TAG, self.local, seqno,
+                                   self.epoch))
+        event.go()
+
+    # -- incoming ----------------------------------------------------------------
+
+    def _receive(self, event: SequencedEvent) -> None:
+        channel = event.channel
+        tag, sender, seqno, epoch = event.message.pop_header()
+        assert tag == _HEADER_TAG, f"not a reliable frame: {tag!r}"
+        if epoch != self.epoch:
+            self.duplicates_dropped += 1  # stale (or early) epoch artifact
+            return
+        snapshot = _StoredMessage(cls=type(event), message=event.message.copy())
+        self._ingest(sender, seqno, snapshot, channel)
+
+    def _absorb_retransmission(self, event: RetransmissionMessage) -> None:
+        payload = self.payload_of(event)
+        if payload["epoch"] != self.epoch:
+            self.duplicates_dropped += 1
+            return
+        snapshot = _StoredMessage(cls=payload["cls"],
+                                  message=payload["msg"].copy())
+        self._ingest(payload["sender"], payload["seqno"], snapshot,
+                     event.channel)
+
+    def _ingest(self, sender: str, seqno: int, snapshot: _StoredMessage,
+                channel) -> None:
+        expected = self.delivered.get(sender, 0) + 1
+        if seqno < expected or seqno in self.pending.get(sender, {}):
+            self.duplicates_dropped += 1
+            return
+        if seqno > expected:
+            self.pending.setdefault(sender, {})[seqno] = snapshot
+            return
+        self._deliver(sender, seqno, snapshot, channel)
+        self._drain_pending(sender, channel)
+        self._check_cut(channel)
+
+    def _deliver(self, sender: str, seqno: int, snapshot: _StoredMessage,
+                 channel) -> None:
+        self.delivered[sender] = seqno
+        self.store[(sender, seqno)] = snapshot
+        fresh = snapshot.cls(message=snapshot.message.copy(), source=sender,
+                             dest=self.local)
+        self.send_up(fresh, channel=channel)
+
+    def _drain_pending(self, sender: str, channel) -> None:
+        queue = self.pending.get(sender)
+        if not queue:
+            return
+        while True:
+            expected = self.delivered[sender] + 1
+            snapshot = queue.pop(expected, None)
+            if snapshot is None:
+                break
+            self._deliver(sender, expected, snapshot, channel)
+        if not queue:
+            self.pending.pop(sender, None)
+
+    # -- recovery -------------------------------------------------------------------
+
+    def _maybe_advertise(self, channel) -> None:
+        """Tail-loss protection: advertise the high-water mark when idle."""
+        sent = self.next_seqno - 1
+        if sent == 0:
+            return
+        if sent > self._advertised_own:
+            self._advertised_own = sent
+            self._sync_repeats = 0
+        elif self._sync_repeats >= _SYNC_MAX_REPEATS:
+            return
+        self._idle_ticks += 1
+        if self._idle_ticks < _SYNC_AFTER_IDLE_TICKS:
+            return
+        self._idle_ticks = 0
+        self._sync_repeats += 1
+        sync = self.control_message(SyncMessage,
+                                    {"from": self.local, "sent": sent,
+                                     "epoch": self.epoch},
+                                    dest=GROUP_DEST, source=self.local)
+        self.syncs_sent += 1
+        self.send_down(sync, channel=channel)
+
+    def _scan_for_gaps(self, channel) -> None:
+        """Request every known-missing sequence number, batched per sender."""
+        assert self.local is not None
+        self._maybe_advertise(channel)
+        wanted: dict[str, list[int]] = {}
+        for sender, queue in self.pending.items():
+            expected = self.delivered.get(sender, 0) + 1
+            horizon = max(queue)
+            missing = [seq for seq in range(expected, horizon)
+                       if seq not in queue]
+            if missing:
+                wanted.setdefault(sender, []).extend(missing)
+        for sender, high in self._advertised.items():
+            expected = self.delivered.get(sender, 0) + 1
+            already = set(self.pending.get(sender, {}))
+            missing = [seq for seq in range(expected, high + 1)
+                       if seq not in already]
+            if missing:
+                wanted.setdefault(sender, []).extend(missing)
+        if self.cut is not None:
+            for sender, high in self.cut.items():
+                expected = self.delivered.get(sender, 0) + 1
+                already = set(self.pending.get(sender, {}))
+                missing = [seq for seq in range(expected, high + 1)
+                           if seq not in already]
+                if missing:
+                    wanted.setdefault(sender, []).extend(missing)
+        for sender, seqs in wanted.items():
+            unique = sorted(set(seqs))[:self.max_nack_batch]
+            target = self._nack_target(sender)
+            if target is None or target == self.local:
+                continue
+            nack = self.control_message(
+                NackMessage,
+                {"from": self.local, "sender": sender, "seqs": unique,
+                 "epoch": self.epoch},
+                dest=target, source=self.local)
+            self.nacks_sent += 1
+            self.send_down(nack, channel=channel)
+
+    def _nack_target(self, sender: str) -> Optional[str]:
+        if sender in self.members and sender != self.local:
+            return sender
+        if self.cut_coordinator and self.cut_coordinator != self.local:
+            return self.cut_coordinator
+        return None
+
+    def _serve_nack(self, event: NackMessage) -> None:
+        payload = self.payload_of(event)
+        if payload["epoch"] != self.epoch:
+            return  # stale request from a previous view
+        requester = payload["from"]
+        sender = payload["sender"]
+        for seqno in payload["seqs"]:
+            snapshot = self.store.get((sender, seqno))
+            if snapshot is None:
+                continue
+            retrans = self.control_message(
+                RetransmissionMessage,
+                {"sender": sender, "seqno": seqno, "cls": snapshot.cls,
+                 "msg": snapshot.message.copy(), "epoch": self.epoch},
+                dest=requester, source=self.local)
+            self.retransmissions_served += 1
+            self.send_down(retrans, channel=event.channel)
+
+    # -- flush / cut -------------------------------------------------------------------
+
+    def _check_cut(self, channel) -> None:
+        if self.cut is None or self.cut_announced:
+            return
+        for sender, high in self.cut.items():
+            if self.delivered.get(sender, 0) < high:
+                return
+        self.cut_announced = True
+        self.send_up(CutReachedEvent(self.cut), channel=channel)
+
+
+@register_layer
+class ReliableMulticastLayer(Layer):
+    """Reliable FIFO multicast with NACK recovery and flush support.
+
+    Parameters: ``nack_interval`` (gap-scan period, seconds),
+    ``max_nack_batch`` (max sequence numbers per NACK), plus the common
+    ``group``/``members``.
+    """
+
+    layer_name = "reliable"
+    accepted_events = (SequencedEvent, NackMessage, RetransmissionMessage,
+                       SyncMessage, FlushQueryEvent, FlushCutEvent,
+                       TimerEvent, ViewEvent)
+    provided_events = (NackMessage, RetransmissionMessage, SyncMessage,
+                       FlushStatusEvent, CutReachedEvent)
+    session_class = ReliableMulticastSession

@@ -1,0 +1,186 @@
+"""Systematic Reed–Solomon erasure coding over GF(256).
+
+The forward-error-correction building block the paper points at (§2, citing
+RFC 3452): for every ``k`` data blocks, ``m`` parity blocks are generated
+such that *any* ``k`` of the ``k+m`` blocks reconstruct the data.
+
+Construction: generator matrix ``[I | C]`` with ``C`` a Cauchy matrix —
+every square submatrix of a Cauchy matrix over a field is invertible, which
+makes the code MDS (maximum distance separable): up to ``m`` erasures are
+always recoverable.
+
+Pure-Python GF(256) arithmetic with exp/log tables (polynomial 0x11d, the
+conventional choice).  Block sizes in this system are chat messages —
+tens of bytes — so table-driven byte loops are plenty fast.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+_PRIMITIVE_POLY = 0x11D
+
+# --- field tables ------------------------------------------------------------
+
+_EXP = [0] * 512
+_LOG = [0] * 256
+_value = 1
+for _power in range(255):
+    _EXP[_power] = _value
+    _LOG[_value] = _power
+    _value <<= 1
+    if _value & 0x100:
+        _value ^= _PRIMITIVE_POLY
+for _power in range(255, 512):
+    _EXP[_power] = _EXP[_power - 255]
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(256)."""
+    if a == 0:
+        raise ZeroDivisionError("GF(256) inverse of zero")
+    return _EXP[255 - _LOG[a]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide in GF(256)."""
+    return gf_mul(a, gf_inv(b))
+
+
+# --- code construction ----------------------------------------------------------
+
+
+def cauchy_matrix(k: int, m: int) -> list[list[int]]:
+    """The ``k × m`` Cauchy parity matrix ``C[i][j] = 1 / (x_i ⊕ y_j)``.
+
+    Evaluation points ``x_i = i`` and ``y_j = k + j`` are pairwise distinct
+    for ``k + m <= 256``.
+    """
+    if k < 1 or m < 0 or k + m > 256:
+        raise ValueError(f"unsupported code parameters k={k}, m={m}")
+    return [[gf_inv(i ^ (k + j)) for j in range(m)] for i in range(k)]
+
+
+def _pad(blocks: Sequence[bytes]) -> tuple[list[bytes], int]:
+    width = max((len(block) for block in blocks), default=0)
+    return [block.ljust(width, b"\0") for block in blocks], width
+
+
+def rs_encode(data_blocks: Sequence[bytes], m: int) -> list[bytes]:
+    """Compute ``m`` parity blocks over ``data_blocks`` (padded internally).
+
+    Returns parity blocks of length ``max(len(block))``.
+    """
+    k = len(data_blocks)
+    matrix = cauchy_matrix(k, m)
+    padded, width = _pad(data_blocks)
+    parities = []
+    for j in range(m):
+        parity = bytearray(width)
+        for i, block in enumerate(padded):
+            coefficient = matrix[i][j]
+            if coefficient == 0:
+                continue
+            for offset, byte in enumerate(block):
+                if byte:
+                    parity[offset] ^= gf_mul(coefficient, byte)
+        parities.append(bytes(parity))
+    return parities
+
+
+def rs_decode(pieces: dict[int, bytes], k: int, m: int,
+              lengths: Optional[Sequence[int]] = None) -> list[bytes]:
+    """Reconstruct the ``k`` data blocks from any ``k`` surviving pieces.
+
+    Args:
+        pieces: mapping piece index → bytes.  Indices ``0..k-1`` are data
+            blocks, ``k..k+m-1`` parity blocks.  At least ``k`` distinct
+            pieces must be present.
+        k, m: code parameters used at encode time.
+        lengths: original data block lengths (for padding removal); when
+            omitted, padded blocks are returned.
+
+    Raises:
+        ValueError: when fewer than ``k`` pieces survive, or indices are out
+            of range.
+    """
+    for index in pieces:
+        if not 0 <= index < k + m:
+            raise ValueError(f"piece index {index} out of range")
+    erased = [i for i in range(k) if i not in pieces]
+    available_parity = [j for j in range(m) if (k + j) in pieces]
+    if len(erased) > len(available_parity):
+        raise ValueError(
+            f"unrecoverable: {len(erased)} data blocks erased but only "
+            f"{len(available_parity)} parity blocks survive")
+    matrix = cauchy_matrix(k, m)
+    present, width = _pad([pieces[i] for i in sorted(pieces)])
+    by_index = dict(zip(sorted(pieces), present))
+    data: list[Optional[bytes]] = [by_index.get(i) for i in range(k)]
+    if erased:
+        data = _solve_erasures(data, erased, available_parity[:len(erased)],
+                               by_index, matrix, k, width)
+    blocks = [block if block is not None else b"" for block in data]
+    if lengths is not None:
+        blocks = [block[:length] for block, length in zip(blocks, lengths)]
+    return blocks
+
+
+def _solve_erasures(data: list[Optional[bytes]], erased: list[int],
+                    parity_rows: list[int], by_index: dict[int, bytes],
+                    matrix: list[list[int]], k: int,
+                    width: int) -> list[Optional[bytes]]:
+    """Gaussian elimination for the erased positions, byte column by column."""
+    e = len(erased)
+    # Right-hand side: parity bytes minus contributions of surviving data.
+    rhs = []
+    for j in parity_rows:
+        adjusted = bytearray(by_index[k + j])
+        for i in range(k):
+            block = data[i]
+            if block is None or i in erased:
+                continue
+            coefficient = matrix[i][j]
+            if coefficient == 0:
+                continue
+            for offset in range(width):
+                if block[offset]:
+                    adjusted[offset] ^= gf_mul(coefficient, block[offset])
+        rhs.append(adjusted)
+    # Coefficient matrix rows: parity j, columns: erased data i.
+    coeffs = [[matrix[i][j] for i in erased] for j in parity_rows]
+    solution = _gaussian_solve(coeffs, rhs, e, width)
+    for position, block in zip(erased, solution):
+        data[position] = bytes(block)
+    return data
+
+
+def _gaussian_solve(coeffs: list[list[int]], rhs: list[bytearray],
+                    e: int, width: int) -> list[bytearray]:
+    """Solve ``coeffs · x = rhs`` over GF(256) for byte-vector unknowns."""
+    a = [row[:] for row in coeffs]
+    b = [bytearray(row) for row in rhs]
+    for col in range(e):
+        pivot_row = next(row for row in range(col, e) if a[row][col] != 0)
+        a[col], a[pivot_row] = a[pivot_row], a[col]
+        b[col], b[pivot_row] = b[pivot_row], b[col]
+        inverse = gf_inv(a[col][col])
+        a[col] = [gf_mul(value, inverse) for value in a[col]]
+        b[col] = bytearray(gf_mul(byte, inverse) for byte in b[col])
+        for row in range(e):
+            if row == col or a[row][col] == 0:
+                continue
+            factor = a[row][col]
+            a[row] = [a[row][i] ^ gf_mul(factor, a[col][i])
+                      for i in range(e)]
+            for offset in range(width):
+                if b[col][offset]:
+                    b[row][offset] ^= gf_mul(factor, b[col][offset])
+    return b

@@ -1,0 +1,143 @@
+"""Total order (fixed-sequencer).
+
+The view coordinator acts as sequencer: on delivering an application
+message it assigns the next global sequence number and multicasts an
+:class:`~repro.protocols.events.OrderMessage`.  Every member buffers
+application messages until their order is known and delivers strictly in
+global-sequence order.
+
+View-change interaction: when a flush starts the sequencer stops emitting
+order announcements; whatever remains unordered when the new view installs
+is drained *deterministically* (sorted by ``(sender, sequence)``) before
+the new view's traffic starts.  Because view synchrony guarantees all
+members share the same delivered set and the same set of order
+announcements, the drain produces the same delivery order everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.events import Direction, Event
+from repro.kernel.layer import Layer
+from repro.kernel.registry import register_layer
+from repro.protocols.base import GroupSession
+from repro.protocols.events import (GROUP_DEST, ApplicationMessage,
+                                    BlockEvent, OrderMessage, ViewEvent)
+
+_HEADER_TAG = "to"
+
+
+class TotalOrderSession(GroupSession):
+    """Sequencer election, order buffers and delivery cursor."""
+
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        self._send_counter = 0          # per-sender id for my own messages
+        self._global_counter = 0        # sequencer: next global seqno
+        self._next_delivery = 1         # delivery cursor
+        self._orders: dict[int, tuple[str, int]] = {}
+        self._unordered: dict[tuple[str, int], ApplicationMessage] = {}
+        self._sequencing_enabled = True
+        #: Diagnostics
+        self.drained_at_view_change = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def sequencer(self) -> Optional[str]:
+        return self.view.coordinator if self.view is not None else None
+
+    @property
+    def is_sequencer(self) -> bool:
+        return self.sequencer is not None and self.sequencer == self.local
+
+    # -- view lifecycle ------------------------------------------------------------
+
+    def on_view(self, event: ViewEvent) -> None:
+        self._drain_deterministically(event.channel)
+        self._send_counter = 0
+        self._global_counter = 0
+        self._next_delivery = 1
+        self._orders.clear()
+        self._sequencing_enabled = True
+
+    def _drain_deterministically(self, channel) -> None:
+        """Deliver leftover unordered messages in a canonical order."""
+        leftovers = sorted(self._unordered)
+        for key in leftovers:
+            event = self._unordered.pop(key)
+            self.drained_at_view_change += 1
+            event.go()
+        self._unordered.clear()
+
+    # -- event dispatch ----------------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, BlockEvent):
+            self._sequencing_enabled = False
+            event.go()
+            return
+        if isinstance(event, OrderMessage):
+            if event.direction is Direction.UP:
+                self._absorb_orders(event)
+            else:
+                event.go()
+            return
+        if not isinstance(event, ApplicationMessage):
+            event.go()
+            return
+        if event.direction is Direction.DOWN:
+            self._outgoing(event)
+        else:
+            self._incoming(event)
+
+    # -- data path ------------------------------------------------------------------------
+
+    def _outgoing(self, event: ApplicationMessage) -> None:
+        assert self.local is not None, "total layer used before ChannelInit"
+        self._send_counter += 1
+        event.message.push_header((_HEADER_TAG, self.local,
+                                   self._send_counter))
+        event.go()
+
+    def _incoming(self, event: ApplicationMessage) -> None:
+        tag, sender, send_seq = event.message.pop_header()
+        assert tag == _HEADER_TAG, f"not a total-order frame: {tag!r}"
+        self._unordered[(sender, send_seq)] = event
+        if self.is_sequencer and self._sequencing_enabled:
+            self._global_counter += 1
+            announce = self.control_message(
+                OrderMessage,
+                {"orders": [(sender, send_seq, self._global_counter)]},
+                dest=GROUP_DEST, source=self.local)
+            self.send_down(announce, channel=event.channel)
+        self._try_deliver()
+
+    def _absorb_orders(self, event: OrderMessage) -> None:
+        for sender, send_seq, global_seq in self.payload_of(event)["orders"]:
+            self._orders[global_seq] = (sender, send_seq)
+        self._try_deliver()
+
+    def _try_deliver(self) -> None:
+        while True:
+            key = self._orders.get(self._next_delivery)
+            if key is None:
+                return
+            event = self._unordered.pop(key, None)
+            if event is None:
+                return
+            del self._orders[self._next_delivery]
+            self._next_delivery += 1
+            event.go()
+
+
+@register_layer
+class TotalOrderLayer(Layer):
+    """Sequencer-based total delivery order for application messages."""
+
+    layer_name = "total"
+    accepted_events = (ApplicationMessage, OrderMessage, BlockEvent,
+                       ViewEvent)
+    provided_events = (OrderMessage,)
+    session_class = TotalOrderSession

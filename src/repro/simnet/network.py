@@ -1,0 +1,256 @@
+"""The simulated network: a wired LAN bridged to an 802.11-style cell.
+
+Topology model (matching the paper's hybrid scenario, Figure 2(b)):
+
+* **fixed** nodes sit on a wired LAN segment;
+* **mobile** nodes sit in a wireless cell and reach everyone through the
+  base station / access point, which bridges to the LAN;
+* consequently a mobile→mobile packet crosses two wireless hops, a
+  mobile→fixed packet one wireless and one wired hop, and fixed→fixed
+  traffic stays on the wire.
+
+Native multicast is available *within* a segment only (the premise of the
+paper's Mecho design): the wired LAN may offer IP-multicast to fixed nodes,
+and an all-mobile ad hoc cell may offer local broadcast.  There is no native
+multicast spanning the access point, which is exactly why a hybrid group
+benefits from relaying through a fixed node.
+
+Failure injection: nodes can be crashed and the network can be partitioned
+into isolated groups, which the failure-detector and membership tests use.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.simnet.energy import Battery
+from repro.simnet.engine import SimEngine
+from repro.simnet.loss import LossModel, NoLoss
+from repro.simnet.node import NodeKind, SimNode
+from repro.simnet.packet import Packet
+from repro.simnet.stats import NodeStats, aggregate
+
+
+@dataclass
+class LinkParams:
+    """Characteristics of one link type (wired segment or wireless hop)."""
+
+    latency_s: float = 0.0005
+    bandwidth_bps: float = 100e6
+    loss: LossModel = field(default_factory=NoLoss)
+
+    def delay_for(self, size_bytes: int) -> float:
+        """Propagation plus serialization delay for a packet."""
+        return self.latency_s + (size_bytes * 8.0) / self.bandwidth_bps
+
+
+def default_wired() -> LinkParams:
+    """100 Mbit/s switched Ethernet."""
+    return LinkParams(latency_s=0.0005, bandwidth_bps=100e6)
+
+
+def default_wireless(loss: Optional[LossModel] = None) -> LinkParams:
+    """11 Mbit/s 802.11b with optional loss model."""
+    return LinkParams(latency_s=0.002, bandwidth_bps=11e6,
+                      loss=loss if loss is not None else NoLoss())
+
+
+class Network:
+    """Simulated hybrid network shared by every node of a run.
+
+    Args:
+        engine: the simulation engine (shared virtual clock).
+        seed: seed for the network's private random source (loss draws made
+            through models that take this RNG, jitter if enabled).
+        wired: link parameters of the LAN segment.
+        wireless: link parameters of one wireless hop.
+        native_multicast_wired: whether fixed nodes may use IP-multicast on
+            the LAN segment.
+        wireless_broadcast: whether an all-mobile cell supports local
+            broadcast (ad hoc mode).
+    """
+
+    def __init__(self, engine: SimEngine, seed: int = 0,
+                 wired: Optional[LinkParams] = None,
+                 wireless: Optional[LinkParams] = None,
+                 native_multicast_wired: bool = False,
+                 wireless_broadcast: bool = False) -> None:
+        self.engine = engine
+        self.rng = random.Random(seed)
+        self.wired = wired if wired is not None else default_wired()
+        self.wireless = wireless if wireless is not None else default_wireless()
+        self.native_multicast_wired = native_multicast_wired
+        self.wireless_broadcast = wireless_broadcast
+        self.nodes: dict[str, SimNode] = {}
+        self._partitions: Optional[list[set[str]]] = None
+        #: Packets lost to link loss models.
+        self.lost_packets = 0
+        #: Packets delivered to a node's NIC.
+        self.delivered_packets = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, node_id: str, kind: NodeKind,
+                 battery: Optional[Battery] = None) -> SimNode:
+        """Create and register a node.
+
+        Mobile nodes get a default battery when none is supplied, so energy
+        accounting is always meaningful.
+        """
+        if node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node_id!r}")
+        if kind is NodeKind.MOBILE and battery is None:
+            battery = Battery()
+        node = SimNode(node_id, kind, self, battery=battery)
+        self.nodes[node_id] = node
+        return node
+
+    def add_fixed_node(self, node_id: str) -> SimNode:
+        """Shorthand for a wired infrastructure host."""
+        return self.add_node(node_id, NodeKind.FIXED)
+
+    def add_mobile_node(self, node_id: str,
+                        battery: Optional[Battery] = None) -> SimNode:
+        """Shorthand for a battery-powered wireless device."""
+        return self.add_node(node_id, NodeKind.MOBILE, battery=battery)
+
+    def node(self, node_id: str) -> SimNode:
+        """Look up a node by id."""
+        return self.nodes[node_id]
+
+    def node_ids(self) -> list[str]:
+        """All node ids, sorted (deterministic iteration everywhere)."""
+        return sorted(self.nodes)
+
+    def fixed_ids(self) -> list[str]:
+        return sorted(node_id for node_id, node in self.nodes.items()
+                      if node.is_fixed)
+
+    def mobile_ids(self) -> list[str]:
+        return sorted(node_id for node_id, node in self.nodes.items()
+                      if node.is_mobile)
+
+    # -- failure injection ------------------------------------------------------
+
+    def crash_node(self, node_id: str) -> None:
+        """Silently stop a node: it neither sends nor receives anything."""
+        self.nodes[node_id].crashed = True
+
+    def recover_node(self, node_id: str) -> None:
+        """Undo :meth:`crash_node`."""
+        self.nodes[node_id].crashed = False
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the network; only nodes in the same group communicate."""
+        self._partitions = [set(group) for group in groups]
+
+    def heal_partition(self) -> None:
+        """Remove any partition."""
+        self._partitions = None
+
+    def _reachable(self, src: str, dst: str) -> bool:
+        if self._partitions is None:
+            return True
+        for group in self._partitions:
+            if src in group:
+                return dst in group
+        return False
+
+    # -- transmission -------------------------------------------------------------
+
+    def transmit(self, sender: SimNode, packet: Packet) -> None:
+        """Send ``packet`` from ``sender``: count it, charge energy, route it.
+
+        A multicast packet (tuple destination) is *one* transmission —
+        that is the whole point of native multicast — but it is only legal
+        within a single segment (see module docstring); violations raise
+        ``ValueError`` because they indicate a protocol configuration bug.
+        """
+        if not sender.alive:
+            sender.stats.record_dropped()
+            return
+        packet.sent_at = self.engine.now()
+        sender.stats.record_sent(packet)
+        if sender.battery is not None:
+            sender.battery.consume_tx(packet.size_bytes, self.engine.now())
+        if packet.is_multicast:
+            self._check_multicast_legal(sender, packet)
+            for dst in packet.dst:
+                if dst == sender.node_id:
+                    continue
+                self._route_one(sender, packet.copy_for(dst), dst)
+        else:
+            self._route_one(sender, packet, packet.dst)
+
+    def _check_multicast_legal(self, sender: SimNode, packet: Packet) -> None:
+        dst_nodes = [self.nodes[d] for d in packet.dst if d in self.nodes]
+        all_fixed = sender.is_fixed and all(n.is_fixed for n in dst_nodes)
+        all_mobile = sender.is_mobile and all(n.is_mobile for n in dst_nodes)
+        if all_fixed and self.native_multicast_wired:
+            return
+        if all_mobile and self.wireless_broadcast:
+            return
+        raise ValueError(
+            f"native multicast from {sender.node_id} to {packet.dst} is not "
+            "available on this topology (no multicast across the base "
+            "station; enable native_multicast_wired/wireless_broadcast for "
+            "single-segment groups)")
+
+    def _route_one(self, sender: SimNode, packet: Packet, dst_id: str) -> None:
+        dst = self.nodes.get(dst_id)
+        if dst is None:
+            self.lost_packets += 1
+            return
+        if not self._reachable(sender.node_id, dst_id):
+            self.lost_packets += 1
+            return
+        hops = self._hops_between(sender, dst)
+        delay = 0.0
+        for link in hops:
+            if link.loss.is_lost(packet.size_bytes):
+                self.lost_packets += 1
+                return
+            delay += link.delay_for(packet.size_bytes)
+        packet.hops = len(hops)
+        self.engine.call_later(delay, lambda: self._deliver(dst, packet))
+
+    def _hops_between(self, src: SimNode, dst: SimNode) -> list[LinkParams]:
+        if src.is_fixed and dst.is_fixed:
+            return [self.wired]
+        if src.is_fixed and dst.is_mobile:
+            return [self.wired, self.wireless]
+        if src.is_mobile and dst.is_fixed:
+            return [self.wireless, self.wired]
+        return [self.wireless, self.wireless]  # mobile→AP→mobile
+
+    def _deliver(self, dst: SimNode, packet: Packet) -> None:
+        if not dst.alive:
+            dst.stats.record_dropped()
+            return
+        if not self._reachable(packet.src, dst.node_id):
+            self.lost_packets += 1
+            return
+        self.delivered_packets += 1
+        dst.stats.record_received(packet)
+        if dst.battery is not None:
+            dst.battery.consume_rx(packet.size_bytes, self.engine.now())
+        dst._on_packet(packet)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats_of(self, node_id: str) -> NodeStats:
+        """Traffic counters of one node."""
+        return self.nodes[node_id].stats
+
+    def total_stats(self) -> dict:
+        """Aggregated counters across all nodes."""
+        return aggregate([node.stats for node in self.nodes.values()])
+
+    def reset_stats(self) -> None:
+        """Zero all node counters (between experiment phases)."""
+        for node in self.nodes.values():
+            node.stats.reset()
+        self.lost_packets = 0
+        self.delivered_packets = 0

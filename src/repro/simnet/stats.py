@@ -1,0 +1,110 @@
+"""Per-node and network-wide traffic counters.
+
+These counters are the measurement instrument of the reproduction: the
+paper's Figure 3 is literally ``mobile_node.stats.sent_total`` after a chat
+run.  Counters are broken down by traffic class (data/control) and by the
+event type that generated the packet, which powers the control-overhead
+ablation (footnote 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.simnet.packet import CONTROL, DATA, Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.network import Network
+
+
+@dataclass
+class NodeStats:
+    """Traffic counters for one node's network interface."""
+
+    node_id: str
+    sent_packets: Counter = field(default_factory=Counter)
+    sent_bytes: Counter = field(default_factory=Counter)
+    recv_packets: Counter = field(default_factory=Counter)
+    recv_bytes: Counter = field(default_factory=Counter)
+    sent_by_event: Counter = field(default_factory=Counter)
+    recv_by_event: Counter = field(default_factory=Counter)
+    dropped_packets: int = 0
+
+    # -- recording (called by the network) -----------------------------------
+
+    def record_sent(self, packet: Packet) -> None:
+        self.sent_packets[packet.traffic_class] += 1
+        self.sent_bytes[packet.traffic_class] += packet.size_bytes
+        self.sent_by_event[packet.event_cls.__name__] += 1
+
+    def record_received(self, packet: Packet) -> None:
+        self.recv_packets[packet.traffic_class] += 1
+        self.recv_bytes[packet.traffic_class] += packet.size_bytes
+        self.recv_by_event[packet.event_cls.__name__] += 1
+
+    def record_dropped(self) -> None:
+        self.dropped_packets += 1
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def sent_total(self) -> int:
+        """All messages transmitted — data *and* control (Figure 3 metric)."""
+        return sum(self.sent_packets.values())
+
+    @property
+    def sent_data(self) -> int:
+        return self.sent_packets[DATA]
+
+    @property
+    def sent_control(self) -> int:
+        return self.sent_packets[CONTROL]
+
+    @property
+    def recv_total(self) -> int:
+        return sum(self.recv_packets.values())
+
+    @property
+    def sent_bytes_total(self) -> int:
+        return sum(self.sent_bytes.values())
+
+    def snapshot(self) -> dict:
+        """A plain-dict summary, convenient for experiment reports."""
+        return {
+            "node": self.node_id,
+            "sent_total": self.sent_total,
+            "sent_data": self.sent_data,
+            "sent_control": self.sent_control,
+            "sent_bytes": self.sent_bytes_total,
+            "recv_total": self.recv_total,
+            "dropped": self.dropped_packets,
+            "sent_by_event": dict(self.sent_by_event),
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (used between experiment phases)."""
+        self.sent_packets.clear()
+        self.sent_bytes.clear()
+        self.recv_packets.clear()
+        self.recv_bytes.clear()
+        self.sent_by_event.clear()
+        self.recv_by_event.clear()
+        self.dropped_packets = 0
+
+
+def aggregate(stats: list[NodeStats]) -> dict:
+    """Network-wide totals across ``stats``."""
+    total = {
+        "sent_total": 0, "sent_data": 0, "sent_control": 0,
+        "recv_total": 0, "sent_bytes": 0, "dropped": 0,
+    }
+    for node_stats in stats:
+        total["sent_total"] += node_stats.sent_total
+        total["sent_data"] += node_stats.sent_data
+        total["sent_control"] += node_stats.sent_control
+        total["recv_total"] += node_stats.recv_total
+        total["sent_bytes"] += node_stats.sent_bytes_total
+        total["dropped"] += node_stats.dropped_packets
+    return total

@@ -1,0 +1,118 @@
+"""The bottom-of-stack transport layer bridging Appia channels to the NIC.
+
+``SimTransportLayer`` plays the role of Appia's UDP transport: DOWN-travelling
+:class:`~repro.kernel.events.SendableEvent` instances become packets on the
+simulated network; arriving packets are reconstructed into correctly-typed
+events and injected upwards.
+
+One transport *session* is shared by every channel of a node (the paper's
+control channel and data channels all reach the same NIC), using the
+kernel's session-sharing mechanism: the session label ``"transport"`` in XML
+descriptions binds each new channel to the node's existing session.
+
+Addressing convention carried by ``SendableEvent.dest``:
+
+* ``"node-id"`` — unicast;
+* ``("a", "b", ...)`` — native multicast (one transmission), legal only
+  within a segment (see :mod:`repro.simnet.network`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.channel import Channel
+from repro.kernel.events import (ChannelClose, ChannelInit, Direction, Event,
+                                 SendableEvent)
+from repro.kernel.layer import Layer
+from repro.kernel.registry import register_layer
+from repro.kernel.session import Session
+from repro.simnet.node import SimNode
+from repro.simnet.packet import Packet
+
+
+class SimTransportSession(Session):
+    """Session state: the owning node plus the channels bound through it."""
+
+    def __init__(self, layer: Layer, node: Optional[SimNode] = None) -> None:
+        super().__init__(layer)
+        self.node = node
+        self._channel_by_port: dict[str, Channel] = {}
+
+    def attach_node(self, node: SimNode) -> None:
+        """Late-bind the owning node (used when built programmatically)."""
+        self.node = node
+
+    # -- event handling ------------------------------------------------------
+
+    def handle(self, event: Event) -> None:
+        if isinstance(event, ChannelInit):
+            self._on_init(event)
+            event.go()
+        elif isinstance(event, ChannelClose):
+            self._on_close(event)
+            event.go()
+        elif isinstance(event, SendableEvent) and event.direction is Direction.DOWN:
+            self._send(event)
+        else:
+            event.go()
+
+    def _on_init(self, event: Event) -> None:
+        channel = event.channel
+        assert channel is not None
+        if self.node is None:
+            raise RuntimeError(
+                "SimTransportSession has no node attached; build the session "
+                "through the node facade (or call attach_node)")
+        port = channel.name
+        self._channel_by_port[port] = channel
+        channel.local_address = self.node.node_id
+        self.node.bind_port(port, self._incoming)
+
+    def _on_close(self, event: Event) -> None:
+        channel = event.channel
+        assert channel is not None
+        port = channel.name
+        if self._channel_by_port.get(port) is channel:
+            del self._channel_by_port[port]
+            if self.node is not None:
+                self.node.unbind_port(port)
+
+    # -- outbound ---------------------------------------------------------------
+
+    def _send(self, event: SendableEvent) -> None:
+        assert self.node is not None and event.channel is not None
+        if event.dest is None:
+            raise ValueError(f"outgoing {event!r} has no destination")
+        source = event.source if event.source is not None else self.node.node_id
+        wire_message = event.message.copy()
+        # Record the logical source for the receiver; it may differ from the
+        # transmitting node when a relay forwards on behalf of a sender.
+        wire_message.push_header(("__net_src__", source))
+        packet = Packet(src=self.node.node_id, dst=event.dest,
+                        port=event.channel.name, event_cls=type(event),
+                        message=wire_message,
+                        traffic_class=event.traffic_class)
+        self.node.send(packet)
+
+    # -- inbound ----------------------------------------------------------------
+
+    def _incoming(self, packet: Packet) -> None:
+        channel = self._channel_by_port.get(packet.port)
+        if channel is None:  # pragma: no cover - unbound race, defensive
+            return
+        tag, source = packet.message.pop_header()
+        assert tag == "__net_src__", f"corrupt wire framing: {tag!r}"
+        event = packet.event_cls(message=packet.message, source=source,
+                                 dest=packet.dst)
+        self.send_up(event, channel=channel)
+
+
+@register_layer
+class SimTransportLayer(Layer):
+    """Bottom layer: talks to the node's simulated NIC."""
+
+    layer_name = "sim_transport"
+    accepted_events = (SendableEvent,)
+    provided_events = (SendableEvent,)
+    session_class = SimTransportSession

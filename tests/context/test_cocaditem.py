@@ -1,0 +1,159 @@
+"""Cocaditem: retrievers, snapshots and distributed dissemination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.context import (BATTERY, DEVICE_TYPE, LINK_QUALITY,
+                           BatteryRetriever, CallableRetriever,
+                           ContextSnapshot, DeviceTypeRetriever,
+                           LinkQualityRetriever, MemoryRetriever, TopicBus,
+                           default_retrievers, topic_for)
+from repro.core import ContextDirectory, build_morpheus_group
+from repro.simnet import Battery, Network, SimEngine
+
+
+@pytest.fixture
+def hybrid():
+    engine = SimEngine()
+    network = Network(engine, seed=4)
+    network.add_fixed_node("fixed-0")
+    network.add_mobile_node("mobile-0",
+                            battery=Battery(capacity_mj=1000.0))
+    return engine, network
+
+
+class TestRetrievers:
+    def test_device_type(self, hybrid):
+        engine, network = hybrid
+        retriever = DeviceTypeRetriever()
+        assert retriever.sample(network.node("fixed-0")) == "fixed"
+        assert retriever.sample(network.node("mobile-0")) == "mobile"
+
+    def test_battery_fraction(self, hybrid):
+        engine, network = hybrid
+        retriever = BatteryRetriever()
+        assert retriever.sample(network.node("fixed-0")) == 1.0
+        mobile = network.node("mobile-0")
+        assert retriever.sample(mobile) == 1.0
+        mobile.battery.consume_tx(100_000, 0.0)  # drain a chunk
+        assert retriever.sample(mobile) < 1.0
+
+    def test_link_quality_reflects_loss_model(self, hybrid):
+        import random
+        from repro.simnet import BernoulliLoss
+        engine, network = hybrid
+        network.wireless.loss = BernoulliLoss(0.12, random.Random(0))
+        retriever = LinkQualityRetriever()
+        assert retriever.sample(network.node("mobile-0")) == 0.12
+        assert retriever.sample(network.node("fixed-0")) == 0.0
+
+    def test_memory_differs_by_kind(self, hybrid):
+        engine, network = hybrid
+        retriever = MemoryRetriever(fixed_mib=512, mobile_mib=64)
+        assert retriever.sample(network.node("fixed-0")) == 512
+        assert retriever.sample(network.node("mobile-0")) == 64
+
+    def test_callable_adapter(self, hybrid):
+        engine, network = hybrid
+        retriever = CallableRetriever("custom", lambda node: node.node_id)
+        assert retriever.attribute == "custom"
+        assert retriever.sample(network.node("fixed-0")) == "fixed-0"
+
+    def test_default_set_covers_core_attributes(self):
+        attributes = {r.attribute for r in default_retrievers()}
+        assert {DEVICE_TYPE, BATTERY, LINK_QUALITY} <= attributes
+
+
+class TestSnapshot:
+    def test_samples_explode_sorted(self):
+        snapshot = ContextSnapshot("n1", 2.0, {"b": 1, "a": 2})
+        samples = snapshot.samples()
+        assert [s.attribute for s in samples] == ["a", "b"]
+        assert all(s.node_id == "n1" and s.time == 2.0 for s in samples)
+
+    def test_payload_round_trip(self):
+        snapshot = ContextSnapshot("n1", 3.5, {"x": 1.25})
+        assert ContextSnapshot.from_payload(snapshot.to_payload()) == snapshot
+
+    def test_topic_naming(self):
+        assert topic_for("battery") == "context.battery"
+
+
+class TestDistributedDissemination:
+    def test_every_node_learns_every_nodes_context(self):
+        engine = SimEngine()
+        network = Network(engine, seed=4)
+        network.add_fixed_node("fixed-0")
+        network.add_mobile_node("mobile-0")
+        network.add_mobile_node("mobile-1")
+        nodes = build_morpheus_group(network, publish_interval=1.0,
+                                     evaluate_interval=30.0)
+        engine.run_until(5.0)
+        for morpheus in nodes.values():
+            directory = morpheus.directory
+            assert directory.value("fixed-0", DEVICE_TYPE) == "fixed"
+            assert directory.value("mobile-0", DEVICE_TYPE) == "mobile"
+            assert directory.value("mobile-1", DEVICE_TYPE) == "mobile"
+
+    def test_battery_updates_propagate(self):
+        engine = SimEngine()
+        network = Network(engine, seed=4)
+        network.add_fixed_node("fixed-0")
+        network.add_mobile_node("mobile-0",
+                                battery=Battery(capacity_mj=500.0))
+        nodes = build_morpheus_group(network, publish_interval=1.0,
+                                     evaluate_interval=30.0)
+        engine.run_until(3.0)
+        first = nodes["fixed-0"].directory.value("mobile-0", BATTERY)
+        # Heartbeats and context messages drain the mobile battery...
+        engine.run_until(60.0)
+        later = nodes["fixed-0"].directory.value("mobile-0", BATTERY)
+        assert later < first
+
+    def test_on_change_only_suppresses_stable_snapshots(self):
+        engine = SimEngine()
+        network = Network(engine, seed=4)
+        network.add_fixed_node("fixed-0")
+        network.add_fixed_node("fixed-1")
+        nodes = build_morpheus_group(network, publish_interval=1.0,
+                                     evaluate_interval=30.0)
+        # Enable change suppression on one node's Cocaditem.
+        nodes["fixed-0"].cocaditem.on_change_only = True
+        engine.run_until(20.0)
+        suppressed = nodes["fixed-0"].cocaditem.snapshots_sent
+        chatty = nodes["fixed-1"].cocaditem.snapshots_sent
+        # Fixed nodes' context never changes: one snapshot vs ~20.
+        assert suppressed <= 3
+        assert chatty >= 15
+
+
+class TestContextDirectory:
+    def test_covers_requires_all_members(self):
+        bus = TopicBus()
+        directory = ContextDirectory(bus)
+        from repro.context import ContextSample
+        bus.publish("context.device_type",
+                    ContextSample("a", DEVICE_TYPE, "fixed", 0.0))
+        assert directory.covers(["a"], DEVICE_TYPE)
+        assert not directory.covers(["a", "b"], DEVICE_TYPE)
+
+    def test_is_hybrid(self):
+        from repro.context import ContextSample
+        bus = TopicBus()
+        directory = ContextDirectory(bus)
+        bus.publish("context.device_type",
+                    ContextSample("a", DEVICE_TYPE, "fixed", 0.0))
+        bus.publish("context.device_type",
+                    ContextSample("b", DEVICE_TYPE, "mobile", 0.0))
+        assert directory.is_hybrid(["a", "b"])
+        assert not directory.is_hybrid(["a"])
+        assert not directory.is_hybrid(["b"])
+
+    def test_latest_sample_wins(self):
+        from repro.context import ContextSample
+        bus = TopicBus()
+        directory = ContextDirectory(bus)
+        bus.publish("context.battery", ContextSample("a", BATTERY, 0.9, 1.0))
+        bus.publish("context.battery", ContextSample("a", BATTERY, 0.4, 2.0))
+        assert directory.value("a", BATTERY) == 0.4

@@ -1,0 +1,121 @@
+"""Core coordination under adverse conditions (loss, repeated change)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_morpheus_group
+from repro.simnet import Network, SimEngine
+
+FAST = dict(publish_interval=1.0, evaluate_interval=1.0,
+            heartbeat_interval=2.0)
+
+
+class TestAdaptationUnderLoss:
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_reconfiguration_completes_despite_wireless_loss(self, seed):
+        """Every Core message can be lost; retries must converge anyway."""
+        import random
+        from repro.simnet import BernoulliLoss, LinkParams
+        engine = SimEngine()
+        wireless = LinkParams(latency_s=0.002, bandwidth_bps=11e6,
+                              loss=BernoulliLoss(0.15, random.Random(seed)))
+        network = Network(engine, seed=seed, wireless=wireless)
+        network.add_fixed_node("fixed-0")
+        network.add_mobile_node("mobile-0")
+        network.add_mobile_node("mobile-1")
+        nodes = build_morpheus_group(network, **FAST)
+        engine.run_until(60.0)
+        for node_id, morpheus in nodes.items():
+            assert "mecho" in morpheus.current_stack(), node_id
+        # And the adapted group still delivers chat reliably.
+        nodes["mobile-0"].send("through-loss")
+        engine.run_until(90.0)
+        for morpheus in nodes.values():
+            assert "through-loss" in morpheus.chat.texts()
+
+
+class TestRepeatedAdaptation:
+    def test_many_swaps_never_lose_messages(self):
+        """Alternate the context repeatedly; the app never notices."""
+        import random
+        from repro.simnet import BernoulliLoss, LinkParams
+        engine = SimEngine()
+        loss = BernoulliLoss(0.0, random.Random(2))
+        network = Network(engine, seed=2, wireless=LinkParams(
+            latency_s=0.002, bandwidth_bps=11e6, loss=loss))
+        network.add_mobile_node("mobile-0")
+        for index in range(2):
+            network.add_fixed_node(f"fixed-{index}")
+        from repro.core import LossAdaptivePolicy
+        policy = LossAdaptivePolicy(threshold=0.08)
+        nodes = build_morpheus_group(network, policy=policy, **FAST)
+        sender = nodes["mobile-0"]
+        expected = []
+        # Flip the link quality several times while chatting.
+        for flip in range(4):
+            engine.call_at(10.0 + flip * 20.0,
+                           lambda f=flip: setattr(
+                               loss, "probability", 0.2 if f % 2 == 0 else 0.0))
+        for index in range(150):
+            engine.call_at(1.0 + index * 0.5,
+                           lambda i=index: sender.send(f"flip-{i}"))
+            expected.append(f"flip-{index}")
+        engine.run_until(150.0)
+        for node_id, morpheus in nodes.items():
+            assert morpheus.chat.texts() == expected, node_id
+        # At least two swaps happened (plain -> fec -> plain ...).
+        coordinator = nodes["fixed-0"]
+        assert coordinator.core.reconfigurations_completed >= 2
+
+    def test_deploy_count_matches_completed_reconfigs(self):
+        engine = SimEngine()
+        network = Network(engine, seed=3)
+        network.add_fixed_node("fixed-0")
+        network.add_mobile_node("mobile-0")
+        nodes = build_morpheus_group(network, **FAST)
+        engine.run_until(30.0)
+        for morpheus in nodes.values():
+            # initial + one hybrid adaptation
+            assert morpheus.local_module.deploy_count == \
+                1 + morpheus.core.reconfigurations_completed \
+                or morpheus.local_module.deploy_count == 2
+
+
+class TestFacade:
+    def test_morpheus_node_surface(self):
+        engine = SimEngine()
+        network = Network(engine, seed=4)
+        network.add_fixed_node("fixed-0")
+        network.add_mobile_node("mobile-0")
+        nodes = build_morpheus_group(network, **FAST)
+        morpheus = nodes["mobile-0"]
+        assert morpheus.node_id == "mobile-0"
+        assert morpheus.stats is network.stats_of("mobile-0")
+        assert morpheus.current_stack()[0] == "sim_transport"
+        assert morpheus.deployed_configuration() == "data"
+        assert morpheus.control_channel.name == "ctrl"
+
+    def test_shared_transport_session_across_channels(self):
+        engine = SimEngine()
+        network = Network(engine, seed=4)
+        network.add_fixed_node("fixed-0")
+        network.add_fixed_node("fixed-1")
+        nodes = build_morpheus_group(network, **FAST)
+        morpheus = nodes["fixed-0"]
+        data_transport = morpheus.local_module.data_channel.sessions[0]
+        ctrl_transport = morpheus.control_channel.sessions[0]
+        assert data_transport is ctrl_transport
+
+    def test_app_session_survives_adaptation(self):
+        engine = SimEngine()
+        network = Network(engine, seed=4)
+        network.add_fixed_node("fixed-0")
+        network.add_mobile_node("mobile-0")
+        nodes = build_morpheus_group(network, **FAST)
+        chat_before = nodes["mobile-0"].chat
+        engine.run_until(20.0)  # adaptation happened
+        assert "mecho" in nodes["mobile-0"].current_stack()
+        assert nodes["mobile-0"].chat is chat_before
+        assert nodes["mobile-0"].local_module.data_channel.sessions[-1] \
+            is chat_before

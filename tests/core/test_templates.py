@@ -1,0 +1,136 @@
+"""Stack templates: Figure 2 configurations as data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (control_template, fec_data_template,
+                        mecho_data_template, patch_for_view,
+                        plain_data_template)
+from repro.kernel import parse_config, dump_config
+
+MEMBERS = ("a", "b", "c")
+
+
+class TestPlainTemplate:
+    def test_layer_order_top_first(self):
+        template = plain_data_template(MEMBERS)
+        assert [spec.name for spec in template.specs] == [
+            "chat_app", "view_sync", "membership", "heartbeat", "reliable",
+            "beb", "sim_transport"]
+
+    def test_session_labels(self):
+        template = plain_data_template(MEMBERS)
+        labels = {spec.name: spec.session_label for spec in template.specs}
+        assert labels["chat_app"] == "app"
+        assert labels["view_sync"] == "viewsync"
+        assert labels["sim_transport"] == "transport"
+        assert labels["membership"] is None
+
+    def test_members_csv_sorted(self):
+        template = plain_data_template(("c", "a", "b"))
+        membership = next(s for s in template.specs
+                          if s.name == "membership")
+        assert membership.params["members"] == "a,b,c"
+
+    def test_ordering_layers_optional(self):
+        template = plain_data_template(MEMBERS, ordering=("causal", "total"))
+        names = [spec.name for spec in template.specs]
+        assert names.index("total") < names.index("causal")
+        assert names.index("causal") < names.index("view_sync")
+
+    def test_xml_round_trip(self):
+        template = plain_data_template(MEMBERS, heartbeat_interval=2.5)
+        from repro.kernel import ChannelTemplate
+        assert ChannelTemplate.from_xml(template.to_xml()) == template
+
+
+class TestMechoTemplate:
+    def test_mecho_replaces_beb(self):
+        template = mecho_data_template(MEMBERS, mode="wireless", relay="a")
+        names = [spec.name for spec in template.specs]
+        assert "mecho" in names and "beb" not in names
+
+    def test_mode_and_relay_parameters(self):
+        template = mecho_data_template(MEMBERS, mode="wired", relay="a")
+        mecho = next(s for s in template.specs if s.name == "mecho")
+        assert mecho.params["mode"] == "wired"
+        assert mecho.params["relay"] == "a"
+
+
+class TestFecTemplate:
+    def test_fec_sits_between_reliable_and_beb(self):
+        template = fec_data_template(MEMBERS, k=4, m=1)
+        names = [spec.name for spec in template.specs]
+        assert names.index("reliable") < names.index("fec") < \
+            names.index("beb")
+
+    def test_code_parameters(self):
+        template = fec_data_template(MEMBERS, k=4, m=1)
+        fec = next(s for s in template.specs if s.name == "fec")
+        assert fec.params["k"] == 4 and fec.params["m"] == 1
+
+
+class TestControlTemplate:
+    def test_core_and_cocaditem_on_top(self):
+        template = control_template(MEMBERS)
+        assert [spec.name for spec in template.specs][:2] == [
+            "core", "cocaditem"]
+
+    def test_viewsync_not_labelled(self):
+        """The control channel must not share the data channel's viewsync."""
+        template = control_template(MEMBERS)
+        viewsync = next(s for s in template.specs if s.name == "view_sync")
+        assert viewsync.session_label is None
+
+    def test_intervals_forwarded(self):
+        template = control_template(MEMBERS, publish_interval=3.0,
+                                    evaluate_interval=4.0)
+        core = next(s for s in template.specs if s.name == "core")
+        cocaditem = next(s for s in template.specs if s.name == "cocaditem")
+        assert core.params["evaluate_interval"] == 4.0
+        assert cocaditem.params["publish_interval"] == 3.0
+
+
+class TestPatchForView:
+    def test_membership_continues_view_numbering(self):
+        template = plain_data_template(MEMBERS)
+        patched = patch_for_view(template, ("a", "b"), view_id=5)
+        membership = next(s for s in patched.specs
+                          if s.name == "membership")
+        assert membership.params["view_id"] == 5
+        assert membership.params["members"] == "a,b"
+
+    def test_all_group_layers_repatched(self):
+        template = mecho_data_template(MEMBERS, mode="wired", relay="a")
+        patched = patch_for_view(template, ("a", "b"), view_id=2)
+        for spec in patched.specs:
+            if "members" in spec.params:
+                assert spec.params["members"] == "a,b", spec.name
+
+    def test_non_group_parameters_preserved(self):
+        template = mecho_data_template(MEMBERS, mode="wireless", relay="a",
+                                       heartbeat_interval=1.5)
+        patched = patch_for_view(template, ("a", "b"), view_id=2)
+        mecho = next(s for s in patched.specs if s.name == "mecho")
+        heartbeat = next(s for s in patched.specs if s.name == "heartbeat")
+        assert mecho.params["mode"] == "wireless"
+        assert mecho.params["relay"] == "a"
+        assert heartbeat.params["interval"] == 1.5
+
+    def test_original_template_untouched(self):
+        template = plain_data_template(MEMBERS)
+        patch_for_view(template, ("a",), view_id=9)
+        membership = next(s for s in template.specs
+                          if s.name == "membership")
+        assert membership.params["view_id"] == 0
+
+
+class TestConfigDocuments:
+    def test_templates_compose_into_a_document(self):
+        templates = {
+            "plain": plain_data_template(MEMBERS, name="plain"),
+            "ctrl": control_template(MEMBERS, name="ctrl"),
+        }
+        document = dump_config(templates)
+        assert parse_config(document) == templates

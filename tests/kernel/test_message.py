@@ -1,0 +1,100 @@
+"""Tests for the message / header-stack abstraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel import Message, estimate_size
+
+
+@dataclass
+class _SeqHeader:
+    sender: int
+    seqno: int
+
+
+class _SizedHeader:
+    size_bytes = 42
+
+
+class TestHeaderStack:
+    def test_push_pop_is_lifo(self):
+        message = Message(payload=b"hello")
+        message.push_header("a")
+        message.push_header("b")
+        assert message.pop_header() == "b"
+        assert message.pop_header() == "a"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            Message().pop_header()
+
+    def test_peek_does_not_remove(self):
+        message = Message()
+        message.push_header("top")
+        assert message.peek_header() == "top"
+        assert message.peek_header() == "top"
+        assert message.pop_header() == "top"
+
+    def test_copy_is_independent(self):
+        message = Message(payload=b"payload")
+        message.push_header(_SeqHeader(sender=1, seqno=7))
+        dup = message.copy()
+        dup.pop_header()
+        assert len(message.headers) == 1
+        assert message.peek_header().seqno == 7
+
+    def test_copy_deep_copies_mutable_headers(self):
+        message = Message()
+        message.push_header({"members": [1, 2]})
+        dup = message.copy()
+        dup.peek_header()["members"].append(3)
+        assert message.peek_header()["members"] == [1, 2]
+
+
+class TestSizeEstimation:
+    def test_bytes_payload_counts_length(self):
+        assert estimate_size(b"12345") == 5
+
+    def test_str_counts_utf8_length(self):
+        assert estimate_size("héllo") == len("héllo".encode("utf-8"))
+
+    def test_explicit_size_attribute_wins(self):
+        assert estimate_size(_SizedHeader()) == 42
+
+    def test_dataclass_charged_per_field(self):
+        assert estimate_size(_SeqHeader(sender=1, seqno=2)) == 8
+
+    def test_scalar_sizes(self):
+        assert estimate_size(True) == 1
+        assert estimate_size(3) == 4
+        assert estimate_size(2.5) == 8
+        assert estimate_size(None) == 1
+
+    def test_container_sizes_are_positive(self):
+        assert estimate_size([1, 2, 3]) > 0
+        assert estimate_size({"a": 1}) > 0
+
+    def test_message_size_includes_headers(self):
+        message = Message(payload=b"xxxx")
+        base = message.size_bytes
+        message.push_header(_SeqHeader(sender=1, seqno=2))
+        assert message.size_bytes > base
+
+    @given(st.binary(max_size=256), st.integers(min_value=0, max_value=8))
+    def test_size_monotone_in_header_count(self, payload, extra_headers):
+        message = Message(payload=payload)
+        previous = message.size_bytes
+        for index in range(extra_headers):
+            message.push_header(index)
+            assert message.size_bytes > previous
+            previous = message.size_bytes
+
+    @given(st.binary(max_size=512))
+    def test_len_matches_size_bytes(self, payload):
+        message = Message(payload=payload)
+        assert len(message) == message.size_bytes

@@ -1,0 +1,90 @@
+"""Property-based tests of kernel routing invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Direction, Kernel, QoS
+from tests.kernel.helpers import (ConsumerLayer, PingEvent, PongEvent,
+                                  PongRecorderLayer, RecorderLayer,
+                                  build_channel)
+
+# A stack blueprint: each element chooses a layer kind.
+layer_kind = st.sampled_from(["ping", "pong", "consumer"])
+stack_blueprint = st.lists(layer_kind, min_size=1, max_size=8)
+
+
+def materialize(blueprint):
+    factories = {"ping": RecorderLayer, "pong": PongRecorderLayer,
+                 "consumer": ConsumerLayer}
+    return [factories[kind]() for kind in blueprint]
+
+
+class TestRoutingInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(blueprint=stack_blueprint,
+           direction=st.sampled_from([Direction.UP, Direction.DOWN]))
+    def test_ping_visits_exactly_interested_prefix(self, blueprint,
+                                                   direction):
+        """A PingEvent visits ping-accepting layers in stack order until the
+        first consumer swallows it; pong-only layers are never visited."""
+        kernel = Kernel()
+        channel = build_channel(kernel, materialize(blueprint))
+        event = PingEvent()
+        channel.insert(event, direction)
+
+        indices = range(len(blueprint)) if direction is Direction.UP \
+            else range(len(blueprint) - 1, -1, -1)
+        expect_visit = True
+        for index in indices:
+            kind = blueprint[index]
+            session = channel.sessions[index]
+            if kind == "pong":
+                assert event not in session.seen
+                continue
+            if expect_visit:
+                assert event in session.seen
+                if kind == "consumer":
+                    expect_visit = False  # swallowed here
+            else:
+                assert event not in session.seen
+
+    @settings(max_examples=50, deadline=None)
+    @given(blueprint=stack_blueprint)
+    def test_channel_init_reaches_every_layer_exactly_once(self, blueprint):
+        kernel = Kernel()
+        channel = build_channel(kernel, materialize(blueprint))
+        for session in channel.sessions:
+            assert session.inits == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(blueprint=stack_blueprint,
+           events=st.lists(st.sampled_from(["ping", "pong"]), min_size=1,
+                           max_size=20))
+    def test_fifo_delivery_order_per_session(self, blueprint, events):
+        """Events inserted in order are observed in order at every session."""
+        kernel = Kernel()
+        channel = build_channel(kernel, materialize(blueprint))
+        inserted = []
+        for kind in events:
+            event = PingEvent() if kind == "ping" else PongEvent()
+            inserted.append(event)
+            channel.insert(event, Direction.UP)
+        for session in channel.sessions:
+            seen = [event for event in session.seen if event in inserted]
+            positions = [inserted.index(event) for event in seen]
+            assert positions == sorted(positions)
+
+    @settings(max_examples=50, deadline=None)
+    @given(blueprint=stack_blueprint)
+    def test_close_after_start_always_clean(self, blueprint):
+        kernel = Kernel()
+        channel = build_channel(kernel, materialize(blueprint))
+        channel.insert(PingEvent(), Direction.UP)
+        channel.close()
+        assert channel.state.value == "closed"
+        for session in channel.sessions:
+            assert session.closes == 1
+            assert channel not in session.channels
+        assert kernel.idle

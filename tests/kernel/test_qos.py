@@ -1,0 +1,75 @@
+"""QoS composition validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import InvalidQoSError, Layer, QoS, TimerEvent
+from tests.kernel.helpers import PingEvent, PongEvent, RecorderLayer
+
+
+class _NeedsPing(Layer):
+    required_events = (PingEvent,)
+    session_class = None
+
+
+class _ProvidesPing(Layer):
+    provided_events = (PingEvent,)
+    session_class = None
+
+
+class _NeedsTimer(Layer):
+    required_events = (TimerEvent,)
+    session_class = None
+
+
+class TestValidation:
+    def test_empty_composition_rejected(self):
+        with pytest.raises(InvalidQoSError):
+            QoS("empty", [])
+
+    def test_requirement_satisfied_by_provider(self):
+        QoS("ok", [_ProvidesPing(), _NeedsPing()])  # must not raise
+
+    def test_requirement_unsatisfied_raises(self):
+        with pytest.raises(InvalidQoSError, match="requires"):
+            QoS("broken", [_NeedsPing()])
+
+    def test_kernel_events_always_provided(self):
+        QoS("timers", [_NeedsTimer()])  # TimerEvent is kernel-provided
+
+    def test_subclass_provider_satisfies_base_requirement(self):
+        class _ProvidesSubPing(Layer):
+            provided_events = (PongEvent,)
+
+        class _NeedsSendable(Layer):
+            from repro.kernel import SendableEvent
+            required_events = (SendableEvent,)
+
+        QoS("sub", [_ProvidesSubPing(), _NeedsSendable()])
+
+    def test_validation_can_be_skipped(self):
+        qos = QoS("broken-ok", [_NeedsPing()], validate=False)
+        assert qos.layer_names() == ["__needs_ping"]
+
+    def test_layer_names_in_order(self):
+        qos = QoS("names", [_ProvidesPing(), _NeedsPing()])
+        assert qos.layer_names() == ["__provides_ping", "__needs_ping"]
+
+
+class TestLayerNaming:
+    def test_default_name_is_snake_case(self):
+        assert RecorderLayer.name() == "recorder"
+
+    def test_explicit_layer_name_wins(self):
+        class Custom(Layer):
+            layer_name = "my_custom"
+
+        assert Custom.name() == "my_custom"
+
+    def test_acronyms_collapse(self):
+        class FIFOOrderLayer(Layer):
+            pass
+
+        # Consecutive capitals stay grouped.
+        assert "fifo" in FIFOOrderLayer.name().replace("_", "")

@@ -1,0 +1,138 @@
+"""Kernel timers over the manual virtual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import (Event, Kernel, Layer, ManualClock,
+                          PeriodicTimerEvent, Session, TimerEvent)
+from tests.kernel.helpers import build_channel
+
+
+class _TimerSession(Session):
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        self.fired: list[TimerEvent] = []
+
+    def handle(self, event: Event) -> None:
+        if isinstance(event, TimerEvent):
+            self.fired.append(event)
+            return
+        event.go()
+
+
+class _TimerLayer(Layer):
+    accepted_events = (TimerEvent,)
+    session_class = _TimerSession
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def kernel(clock):
+    return Kernel(clock=clock, name="timer-node")
+
+
+class TestOneShot:
+    def test_fires_after_delay(self, kernel, clock):
+        channel = build_channel(kernel, [_TimerLayer()])
+        session = channel.sessions[0]
+        session.set_timer(5.0, tag="once")
+        clock.advance(4.9)
+        assert session.fired == []
+        clock.advance(0.2)
+        assert [event.tag for event in session.fired] == ["once"]
+        assert session.fired[0].fired_at == pytest.approx(5.0)
+
+    def test_cancel_before_fire(self, kernel, clock):
+        channel = build_channel(kernel, [_TimerLayer()])
+        session = channel.sessions[0]
+        handle = session.set_timer(1.0, tag="never")
+        handle.cancel()
+        clock.advance(2.0)
+        assert session.fired == []
+
+    def test_same_instant_timers_fire_in_order(self, kernel, clock):
+        channel = build_channel(kernel, [_TimerLayer()])
+        session = channel.sessions[0]
+        session.set_timer(1.0, tag="first")
+        session.set_timer(1.0, tag="second")
+        clock.advance(1.0)
+        assert [event.tag for event in session.fired] == ["first", "second"]
+
+
+class TestPeriodic:
+    def test_reArms_until_cancelled(self, kernel, clock):
+        channel = build_channel(kernel, [_TimerLayer()])
+        session = channel.sessions[0]
+        handle = session.set_periodic_timer(2.0, tag="tick")
+        clock.advance(7.0)  # fires at t=2, 4, 6
+        assert len(session.fired) == 3
+        handle.cancel()
+        clock.advance(10.0)
+        assert len(session.fired) == 3
+
+    def test_channel_close_stops_periodic(self, kernel, clock):
+        channel = build_channel(kernel, [_TimerLayer()])
+        session = channel.sessions[0]
+        session.set_periodic_timer(1.0, tag="tick")
+        clock.advance(2.0)
+        fired_before = len(session.fired)
+        assert fired_before == 2
+        channel.close()
+        clock.advance(5.0)
+        assert len(session.fired) == fired_before
+
+    def test_custom_periodic_event_interval(self, kernel, clock):
+        channel = build_channel(kernel, [_TimerLayer()])
+        session = channel.sessions[0]
+        session.set_periodic_timer(3.0, PeriodicTimerEvent("slow", 3.0))
+        clock.advance(9.5)
+        assert len(session.fired) == 3
+
+
+class TestManualClock:
+    def test_now_advances(self, clock):
+        assert clock.now() == 0.0
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_negative_delay_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.call_later(-1.0, lambda: None)
+
+    def test_negative_advance_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_run_until_idle_fires_everything(self, clock):
+        fired = []
+        clock.call_later(1.0, lambda: fired.append(1))
+        clock.call_later(5.0, lambda: fired.append(2))
+        count = clock.run_until_idle()
+        assert count == 2
+        assert fired == [1, 2]
+        assert clock.now() == 5.0
+
+    def test_pending_counts_uncancelled(self, clock):
+        handle = clock.call_later(1.0, lambda: None)
+        clock.call_later(2.0, lambda: None)
+        assert clock.pending == 2
+        handle.cancel()
+        assert clock.pending == 1
+
+    def test_callback_scheduling_callback(self, clock):
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            clock.call_later(1.0, lambda: fired.append("inner"))
+
+        clock.call_later(1.0, outer)
+        clock.advance(1.0)
+        assert fired == ["outer"]
+        clock.advance(1.0)
+        assert fired == ["outer", "inner"]

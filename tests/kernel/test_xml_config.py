@@ -1,0 +1,141 @@
+"""AppiaXML-style configuration parsing and channel instantiation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import (ChannelTemplate, ConfigurationError, Kernel,
+                          LayerSpec, UnknownLayerError, coerce_scalar,
+                          dump_config, parse_config, register_layer,
+                          unregister_layer)
+from tests.kernel.helpers import HoldingLayer, PongRecorderLayer, RecorderLayer
+
+
+@pytest.fixture(autouse=True)
+def _registered_test_layers():
+    for cls in (RecorderLayer, PongRecorderLayer, HoldingLayer):
+        register_layer(cls)
+    yield
+    # Leave registrations in place: idempotent and harmless across tests.
+
+
+CONFIG = """
+<morpheus>
+  <template name="plain">
+    <channel name="data">
+      <layer name="pong_recorder"/>
+      <layer name="recorder" window="16" alpha="0.5" fast="true"/>
+    </channel>
+  </template>
+  <channel name="aux">
+    <layer name="recorder" session="shared-bottom"/>
+  </channel>
+</morpheus>
+"""
+
+
+class TestCoercion:
+    def test_int(self):
+        assert coerce_scalar("42") == 42
+
+    def test_float(self):
+        assert coerce_scalar("0.25") == 0.25
+
+    def test_bool(self):
+        assert coerce_scalar("true") is True
+        assert coerce_scalar("False") is False
+
+    def test_string_passthrough(self):
+        assert coerce_scalar("node-3") == "node-3"
+
+
+class TestParsing:
+    def test_parse_templates_and_bare_channels(self):
+        templates = parse_config(CONFIG)
+        assert set(templates) == {"data", "aux"}
+
+    def test_layer_params_coerced(self):
+        templates = parse_config(CONFIG)
+        spec = templates["data"].specs[1]
+        assert spec.params == {"window": 16, "alpha": 0.5, "fast": True}
+
+    def test_session_label_parsed(self):
+        templates = parse_config(CONFIG)
+        assert templates["aux"].specs[0].session_label == "shared-bottom"
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(ConfigurationError):
+            parse_config("<morpheus><channel></morpheus>")
+
+    def test_channel_without_name_raises(self):
+        with pytest.raises(ConfigurationError, match="missing a name"):
+            parse_config("<morpheus><channel><layer name='recorder'/></channel></morpheus>")
+
+    def test_channel_without_layers_raises(self):
+        with pytest.raises(ConfigurationError, match="no layers"):
+            parse_config("<morpheus><channel name='x'></channel></morpheus>")
+
+    def test_duplicate_template_names_raise(self):
+        doc = """<morpheus>
+          <channel name="x"><layer name="recorder"/></channel>
+          <channel name="x"><layer name="recorder"/></channel>
+        </morpheus>"""
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            parse_config(doc)
+
+    def test_unexpected_element_raises(self):
+        with pytest.raises(ConfigurationError, match="unexpected"):
+            parse_config("<morpheus><widget/></morpheus>")
+
+
+class TestRoundTrip:
+    def test_dump_then_parse_is_identity(self):
+        templates = parse_config(CONFIG)
+        assert parse_config(dump_config(templates)) == templates
+
+    def test_single_channel_round_trip(self):
+        template = ChannelTemplate.from_layers("c", [
+            LayerSpec("recorder", {"window": 8}, session_label="top"),
+            LayerSpec("pong_recorder"),
+        ])
+        assert ChannelTemplate.from_xml(template.to_xml()) == template
+
+
+class TestInstantiation:
+    def test_instantiate_builds_bottom_up(self):
+        kernel = Kernel()
+        template = parse_config(CONFIG)["data"]
+        channel = template.instantiate(kernel)
+        # XML lists top-first; the live stack is bottom-first.
+        assert channel.layer_names() == ["recorder", "pong_recorder"]
+        assert channel.state.value == "started"
+
+    def test_layer_params_reach_layer_instances(self):
+        kernel = Kernel()
+        template = parse_config(CONFIG)["data"]
+        channel = template.instantiate(kernel)
+        assert channel.qos.layers[0].params["window"] == 16
+
+    def test_unknown_layer_raises(self):
+        kernel = Kernel()
+        template = ChannelTemplate.from_layers(
+            "bad", [LayerSpec("no_such_layer")])
+        with pytest.raises(UnknownLayerError):
+            template.instantiate(kernel)
+
+    def test_session_bindings_reuse_and_capture(self):
+        kernel = Kernel()
+        bindings = {}
+        template = parse_config(CONFIG)["aux"]
+        first = template.instantiate(kernel, channel_name="aux-1",
+                                     session_bindings=bindings)
+        assert "shared-bottom" in bindings
+        second = template.instantiate(kernel, channel_name="aux-2",
+                                      session_bindings=bindings)
+        assert second.sessions[0] is first.sessions[0]
+
+    def test_instantiate_without_start(self):
+        kernel = Kernel()
+        template = parse_config(CONFIG)["data"]
+        channel = template.instantiate(kernel, start=False)
+        assert channel.state.value == "created"

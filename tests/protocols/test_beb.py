@@ -1,0 +1,95 @@
+"""Unit tests for the non-adaptive best-effort multicast baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols import BestEffortMulticastLayer
+from repro.simnet import Network, SimEngine
+from tests.protocols.helpers import build_world, collector_of
+
+
+class TestFanOut:
+    def test_one_unicast_per_other_member(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed", "d": "fixed"})
+        engine.run_until(0.5)
+        network.reset_stats()
+        collector_of(channels["a"]).send_text("x")
+        engine.run_until(1.0)
+        assert network.stats_of("a").sent_data == 3
+
+    def test_loopback_delivers_to_sender_without_nic(self):
+        engine, network, channels = build_world({"a": "fixed", "b": "fixed"})
+        engine.run_until(0.5)
+        network.reset_stats()
+        collector_of(channels["a"]).send_text("self")
+        engine.run_until(1.0)
+        assert "self" in collector_of(channels["a"]).payloads()
+        # Exactly one transmission (to b), none to self.
+        assert network.stats_of("a").sent_data == 1
+
+    def test_point_to_point_events_pass_through(self):
+        """Unicast control traffic must not be fanned out."""
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(3.0)
+        # NACK-free steady state: heartbeats are the only control traffic;
+        # each heartbeat from a is exactly 2 transmissions (b, c).
+        heartbeats = network.stats_of("a").sent_by_event["HeartbeatMessage"]
+        assert heartbeats % 2 == 0
+
+    def test_self_addressed_unicast_short_circuits(self):
+        engine, network, channels = build_world({"a": "fixed", "b": "fixed"})
+        engine.run_until(5.0)
+        # The membership coordinator 'a' acks itself during the initial
+        # flushless boot and any flush; none of that reaches the NIC as a
+        # self-addressed packet.
+        for packet_count in (network.stats_of("a").sent_by_event.items()):
+            pass  # counters exist; the invariant below is the real check
+        assert network.delivered_packets == network.stats_of("a").recv_total \
+            + network.stats_of("b").recv_total
+
+
+class TestNativeMode:
+    def test_native_multicast_single_transmission(self):
+        def factory(node_id):
+            return BestEffortMulticastLayer(members="a,b,c", native=True)
+
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"},
+            dissemination_factory=factory)
+        # Enable wired native multicast on the segment.
+        network.native_multicast_wired = True
+        engine.run_until(0.5)
+        network.reset_stats()
+        collector_of(channels["a"]).send_text("native")
+        engine.run_until(1.0)
+        assert network.stats_of("a").sent_data == 1
+        for node_id in ("b", "c"):
+            assert "native" in collector_of(channels[node_id]).payloads()
+
+    def test_native_mode_off_segment_raises(self):
+        def factory(node_id):
+            return BestEffortMulticastLayer(members="a,b", native=True)
+
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "mobile"}, dissemination_factory=factory)
+        engine.run_until(0.2)
+        with pytest.raises(ValueError, match="native multicast"):
+            collector_of(channels["a"]).send_text("boom")
+            engine.run_until(1.0)
+
+
+class TestMembershipTracking:
+    def test_fanout_follows_view_changes(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"},
+            heartbeat_interval=0.2)
+        engine.run_until(0.5)
+        network.crash_node("c")
+        engine.run_until(15.0)  # c excluded from the view
+        network.reset_stats()
+        collector_of(channels["a"]).send_text("post-exclusion")
+        engine.run_until(16.0)
+        assert network.stats_of("a").sent_data == 1  # only b remains

@@ -1,0 +1,176 @@
+"""Whole-suite integration: stacks on simulated nodes exchanging traffic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols import TriggerViewChangeEvent
+from repro.kernel import Direction
+from tests.protocols.helpers import (build_world, collector_of,
+                                     membership_of)
+
+
+class TestBootstrap:
+    def test_initial_view_installs_everywhere(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "mobile"})
+        engine.run_until(1.0)
+        for channel in channels.values():
+            view = collector_of(channel).view
+            assert view is not None
+            assert view.members == ("a", "b", "c")
+            assert view.view_id == 0
+            assert view.coordinator == "a"
+
+    def test_sends_before_view_are_queued_not_lost(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed"})
+        # Send immediately, before the initial view has installed.
+        collector_of(channels["a"]).send_text("early")
+        engine.run_until(2.0)
+        assert "early" in collector_of(channels["b"]).payloads()
+
+
+class TestDataExchange:
+    def test_all_members_deliver_all_messages(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "mobile", "c": "mobile"})
+        engine.run_until(0.5)
+        for index in range(20):
+            collector_of(channels["b"]).send_text(f"msg-{index}")
+        engine.run_until(5.0)
+        for node_id, channel in channels.items():
+            payloads = collector_of(channel).payloads()
+            assert payloads == [f"msg-{i}" for i in range(20)], node_id
+
+    def test_sender_delivers_own_messages(self):
+        engine, network, channels = build_world({"a": "fixed", "b": "fixed"})
+        engine.run_until(0.5)
+        collector_of(channels["a"]).send_text("self-delivery")
+        engine.run_until(2.0)
+        assert collector_of(channels["a"]).payloads() == ["self-delivery"]
+
+    def test_interleaved_senders_fifo_per_sender(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(0.5)
+        for index in range(10):
+            collector_of(channels["a"]).send_text(("a", index))
+            collector_of(channels["b"]).send_text(("b", index))
+        engine.run_until(5.0)
+        for channel in channels.values():
+            payloads = collector_of(channel).payloads()
+            for sender in ("a", "b"):
+                own = [i for s, i in payloads if s == sender]
+                assert own == list(range(10))
+
+    def test_delivery_under_wireless_loss(self):
+        """NACK recovery: every message eventually delivered despite loss."""
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "mobile", "c": "mobile"},
+            wireless_loss=0.15, seed=11)
+        engine.run_until(0.5)
+        for index in range(30):
+            collector_of(channels["b"]).send_text(index)
+        engine.run_until(30.0)
+        for node_id, channel in channels.items():
+            assert collector_of(channel).payloads() == list(range(30)), node_id
+
+
+class TestViewChange:
+    def test_trigger_refresh_view(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "mobile"})
+        engine.run_until(0.5)
+        channels["a"].insert(TriggerViewChangeEvent(), Direction.DOWN)
+        engine.run_until(5.0)
+        for channel in channels.values():
+            view = collector_of(channel).view
+            assert view.view_id == 1
+            assert view.members == ("a", "b", "c")
+
+    def test_messages_in_flight_survive_view_change(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "mobile"})
+        engine.run_until(0.5)
+        for index in range(10):
+            collector_of(channels["c"]).send_text(index)
+        channels["a"].insert(TriggerViewChangeEvent(), Direction.DOWN)
+        for index in range(10, 15):
+            collector_of(channels["c"]).send_text(index)
+        engine.run_until(10.0)
+        for node_id, channel in channels.items():
+            assert collector_of(channel).payloads() == list(range(15)), node_id
+
+    def test_crash_detected_and_excluded(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "mobile"},
+            heartbeat_interval=0.2)
+        engine.run_until(0.5)
+        network.crash_node("c")
+        engine.run_until(15.0)
+        for node_id in ("a", "b"):
+            view = collector_of(channels[node_id]).view
+            assert view.members == ("a", "b"), node_id
+
+    def test_coordinator_crash_reelects(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"},
+            heartbeat_interval=0.2)
+        engine.run_until(0.5)
+        network.crash_node("a")  # the coordinator
+        engine.run_until(15.0)
+        for node_id in ("b", "c"):
+            view = collector_of(channels[node_id]).view
+            assert view.members == ("b", "c"), node_id
+            assert view.coordinator == "b"
+        # The group still works.
+        collector_of(channels["b"]).send_text("after-reelection")
+        engine.run_until(20.0)
+        assert "after-reelection" in collector_of(channels["c"]).payloads()
+
+    def test_hold_flush_reaches_quiescence(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "mobile"})
+        engine.run_until(0.5)
+        channels["a"].insert(TriggerViewChangeEvent(hold=True),
+                             Direction.DOWN)
+        engine.run_until(5.0)
+        for node_id, channel in channels.items():
+            collector = collector_of(channel)
+            assert len(collector.quiescent) == 1, node_id
+            assert collector.quiescent[0].view_id == 1
+            membership = membership_of(channel)
+            assert membership.phase.value == "held"
+
+
+class TestOrdering:
+    def test_total_order_agreement(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"},
+            ordering=("total",))
+        engine.run_until(0.5)
+        # Two concurrent senders: total order must be identical everywhere.
+        for index in range(15):
+            collector_of(channels["b"]).send_text(("b", index))
+            collector_of(channels["c"]).send_text(("c", index))
+        engine.run_until(10.0)
+        sequences = [collector_of(channel).payloads()
+                     for channel in channels.values()]
+        assert len(sequences[0]) == 30
+        assert sequences[0] == sequences[1] == sequences[2]
+
+    def test_causal_order_respected(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"},
+            ordering=("causal",))
+        engine.run_until(0.5)
+        collector_of(channels["a"]).send_text("question")
+        engine.run_until(2.0)
+        # b replies only after delivering the question.
+        assert "question" in collector_of(channels["b"]).payloads()
+        collector_of(channels["b"]).send_text("answer")
+        engine.run_until(5.0)
+        for channel in channels.values():
+            payloads = collector_of(channel).payloads()
+            assert payloads.index("question") < payloads.index("answer")

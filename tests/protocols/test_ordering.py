@@ -1,0 +1,136 @@
+"""Causal and total order under loss, churn and concurrency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import Direction
+from repro.protocols import TriggerViewChangeEvent
+from tests.protocols.helpers import build_world, collector_of
+
+
+class TestTotalOrder:
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_agreement_under_wireless_loss(self, seed):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "mobile", "c": "mobile"},
+            wireless_loss=0.12, seed=seed, ordering=("total",),
+            nack_interval=0.1)
+        engine.run_until(0.5)
+        for index in range(12):
+            collector_of(channels["b"]).send_text(("b", index))
+            collector_of(channels["c"]).send_text(("c", index))
+        engine.run_until(40.0)
+        sequences = [collector_of(channel).payloads()
+                     for channel in channels.values()]
+        assert len(sequences[0]) == 24
+        assert sequences[0] == sequences[1] == sequences[2]
+
+    def test_total_order_across_view_change(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"},
+            ordering=("total",))
+        engine.run_until(0.5)
+        for index in range(8):
+            collector_of(channels["b"]).send_text(("b", index))
+            collector_of(channels["c"]).send_text(("c", index))
+        channels["a"].insert(TriggerViewChangeEvent(), Direction.DOWN)
+        for index in range(8, 12):
+            collector_of(channels["b"]).send_text(("b", index))
+        engine.run_until(30.0)
+        sequences = [collector_of(channel).payloads()
+                     for channel in channels.values()]
+        assert len(sequences[0]) == 20
+        assert sequences[0] == sequences[1] == sequences[2]
+
+    def test_sequencer_is_view_coordinator(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed"}, ordering=("total",))
+        engine.run_until(1.0)
+        total_a = channels["a"].session_named("total")
+        total_b = channels["b"].session_named("total")
+        assert total_a.is_sequencer
+        assert not total_b.is_sequencer
+
+    def test_fifo_preserved_within_sender(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"},
+            ordering=("total",))
+        engine.run_until(0.5)
+        for index in range(10):
+            collector_of(channels["c"]).send_text(("c", index))
+        engine.run_until(10.0)
+        for channel in channels.values():
+            payloads = [i for s, i in collector_of(channel).payloads()
+                        if s == "c"]
+            assert payloads == list(range(10))
+
+
+class TestCausalOrder:
+    def test_transitive_chain_respected(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed", "d": "fixed"},
+            ordering=("causal",))
+        engine.run_until(0.5)
+        collector_of(channels["a"]).send_text("m1")
+        engine.run_until(2.0)
+        collector_of(channels["b"]).send_text("m2-after-m1")
+        engine.run_until(4.0)
+        collector_of(channels["c"]).send_text("m3-after-m2")
+        engine.run_until(8.0)
+        for node_id, channel in channels.items():
+            payloads = collector_of(channel).payloads()
+            assert payloads.index("m1") < payloads.index("m2-after-m1") < \
+                payloads.index("m3-after-m2"), node_id
+
+    def test_causal_buffering_counter(self):
+        """Under loss, some messages must wait for their causal past."""
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "mobile", "c": "mobile"},
+            ordering=("causal",), wireless_loss=0.2, seed=12,
+            nack_interval=0.1)
+        engine.run_until(0.5)
+        for index in range(10):
+            collector_of(channels["b"]).send_text(("b", index))
+            collector_of(channels["c"]).send_text(("c", index))
+        engine.run_until(40.0)
+        for channel in channels.values():
+            assert len(collector_of(channel).payloads()) == 20
+
+    def test_own_messages_delivered_immediately(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed"}, ordering=("causal",))
+        engine.run_until(0.5)
+        collector = collector_of(channels["a"])
+        collector.send_text("own")
+        engine.run_until(1.0)
+        assert "own" in collector.payloads()
+
+    def test_vector_clock_resets_on_view_change(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed"}, ordering=("causal",))
+        engine.run_until(0.5)
+        for index in range(5):
+            collector_of(channels["a"]).send_text(index)
+        engine.run_until(2.0)
+        causal = channels["a"].session_named("causal")
+        assert causal.clock["a"] == 5
+        channels["a"].insert(TriggerViewChangeEvent(), Direction.DOWN)
+        engine.run_until(8.0)
+        assert causal.clock == {"a": 0, "b": 0}
+
+
+class TestCombinedOrdering:
+    def test_causal_and_total_stack_together(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"},
+            ordering=("causal", "total"))
+        engine.run_until(0.5)
+        for index in range(10):
+            collector_of(channels["b"]).send_text(("b", index))
+            collector_of(channels["c"]).send_text(("c", index))
+        engine.run_until(15.0)
+        sequences = [collector_of(channel).payloads()
+                     for channel in channels.values()]
+        assert len(sequences[0]) == 20
+        assert sequences[0] == sequences[1] == sequences[2]

@@ -1,0 +1,78 @@
+"""The view-synchrony blocking layer in isolation and across swaps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import Direction
+from repro.protocols import TriggerViewChangeEvent
+from tests.protocols.helpers import build_world, collector_of
+
+
+def viewsync_of(channel):
+    return channel.session_named("view_sync")
+
+
+class TestBlocking:
+    def test_blocked_until_first_view(self):
+        engine, network, channels = build_world({"a": "fixed", "b": "fixed"})
+        assert viewsync_of(channels["a"]).blocked
+        engine.run_until(1.0)
+        assert not viewsync_of(channels["a"]).blocked
+
+    def test_sends_during_flush_are_held_not_transmitted(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed"})
+        engine.run_until(0.5)
+        # Start a hold-flush so the channel stays blocked afterwards.
+        channels["a"].insert(TriggerViewChangeEvent(hold=True),
+                             Direction.DOWN)
+        engine.run_until(5.0)
+        network.reset_stats()
+        collector_of(channels["a"]).send_text("held-message")
+        engine.run_until(8.0)
+        assert network.stats_of("a").sent_data == 0
+        assert len(viewsync_of(channels["a"])._held) == 1
+
+    def test_held_sends_released_on_view(self):
+        """A send issued inside a (non-hold) flush window is delivered
+        after the new view installs."""
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed"})
+        engine.run_until(0.5)
+        channels["a"].insert(TriggerViewChangeEvent(), Direction.DOWN)
+        # Inject the send while the flush is still in progress.
+        collector_of(channels["a"]).send_text("deferred")
+        assert viewsync_of(channels["a"]).blocked
+        engine.run_until(15.0)
+        assert "deferred" in collector_of(channels["b"]).payloads()
+        view = collector_of(channels["b"]).view
+        assert view.view_id == 1
+
+
+class TestBlockWindowIntegrity:
+    def test_no_data_transmitted_between_block_and_view(self):
+        """Timeline invariant: zero data sends inside the flush window."""
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(0.5)
+        sent_during_flush = []
+        original_transmit = network.transmit
+
+        def spy(sender, packet):
+            viewsync = viewsync_of(channels[sender.node_id])
+            if packet.traffic_class == "data" and viewsync.blocked:
+                sent_during_flush.append(packet)
+            original_transmit(sender, packet)
+
+        network.transmit = spy
+        for index in range(20):
+            engine.call_at(0.6 + index * 0.05,
+                           lambda i=index: collector_of(
+                               channels["b"]).send_text(i))
+        engine.call_at(0.8, lambda: channels["a"].insert(
+            TriggerViewChangeEvent(), Direction.DOWN))
+        engine.run_until(20.0)
+        assert sent_during_flush == []
+        for channel in channels.values():
+            assert collector_of(channel).payloads() == list(range(20))

@@ -1,0 +1,122 @@
+"""Discrete-event engine determinism and scheduling semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet import SimEngine
+
+
+class TestScheduling:
+    def test_now_starts_at_zero(self):
+        assert SimEngine().now() == 0.0
+
+    def test_callbacks_fire_in_time_order(self):
+        engine = SimEngine()
+        fired = []
+        engine.call_later(2.0, lambda: fired.append("late"))
+        engine.call_later(1.0, lambda: fired.append("early"))
+        engine.run_until_idle()
+        assert fired == ["early", "late"]
+
+    def test_same_instant_fifo(self):
+        engine = SimEngine()
+        fired = []
+        for index in range(10):
+            engine.call_later(1.0, lambda i=index: fired.append(i))
+        engine.run_until_idle()
+        assert fired == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimEngine().call_later(-0.5, lambda: None)
+
+    def test_call_at_in_past_rejected(self):
+        engine = SimEngine()
+        engine.call_later(1.0, lambda: None)
+        engine.run_until_idle()
+        with pytest.raises(ValueError):
+            engine.call_at(0.5, lambda: None)
+
+    def test_cancellation(self):
+        engine = SimEngine()
+        fired = []
+        handle = engine.call_later(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run_until_idle()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        engine = SimEngine()
+        handle = engine.call_later(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending == 0
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_deadline(self):
+        engine = SimEngine()
+        fired = []
+        engine.call_later(1.0, lambda: fired.append("in"))
+        engine.call_later(3.0, lambda: fired.append("out"))
+        count = engine.run_until(2.0)
+        assert count == 1
+        assert fired == ["in"]
+        assert engine.now() == 2.0
+
+    def test_run_until_skips_cancelled_head(self):
+        engine = SimEngine()
+        fired = []
+        head = engine.call_later(0.5, lambda: fired.append("cancelled"))
+        engine.call_later(1.0, lambda: fired.append("kept"))
+        head.cancel()
+        engine.run_until(2.0)
+        assert fired == ["kept"]
+
+    def test_run_until_idle_counts_fired(self):
+        engine = SimEngine()
+        engine.call_later(0.1, lambda: None)
+        engine.call_later(0.2, lambda: None)
+        assert engine.run_until_idle() == 2
+
+    def test_livelock_guard(self):
+        engine = SimEngine()
+
+        def reschedule():
+            engine.call_later(0.001, reschedule)
+
+        engine.call_later(0.001, reschedule)
+        with pytest.raises(RuntimeError, match="livelock"):
+            engine.run_until_idle(max_events=1000)
+
+    def test_nested_scheduling_runs(self):
+        engine = SimEngine()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            engine.call_later(1.0, lambda: fired.append("inner"))
+
+        engine.call_later(1.0, outer)
+        engine.run_until_idle()
+        assert fired == ["outer", "inner"]
+        assert engine.now() == 2.0
+
+    def test_step_returns_false_when_idle(self):
+        assert SimEngine().step() is False
+
+
+class TestDeterminism:
+    def test_two_identical_runs_fire_identically(self):
+        def run() -> list[tuple[float, int]]:
+            engine = SimEngine()
+            log: list[tuple[float, int]] = []
+            for index in range(50):
+                delay = ((index * 7) % 13) / 10.0
+                engine.call_later(delay, lambda i=index: log.append(
+                    (engine.now(), i)))
+            engine.run_until_idle()
+            return log
+
+        assert run() == run()

@@ -1,0 +1,251 @@
+"""Topology, routing, loss, energy and failure injection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.kernel import Message, SendableEvent
+from repro.simnet import (Battery, BernoulliLoss, LinkParams, Network,
+                          NodeKind, NoLoss, Packet, SimEngine)
+
+
+def make_packet(src: str, dst, payload=b"x" * 100, port="data",
+                traffic_class="data") -> Packet:
+    return Packet(src=src, dst=dst, port=port, event_cls=SendableEvent,
+                  message=Message(payload=payload),
+                  traffic_class=traffic_class)
+
+
+@pytest.fixture
+def engine():
+    return SimEngine()
+
+
+@pytest.fixture
+def hybrid(engine):
+    """1 fixed + 2 mobile nodes, no loss."""
+    network = Network(engine, seed=7)
+    network.add_fixed_node("fixed-0")
+    network.add_mobile_node("mobile-0")
+    network.add_mobile_node("mobile-1")
+    return network
+
+
+class TestTopology:
+    def test_duplicate_node_id_rejected(self, hybrid):
+        with pytest.raises(ValueError):
+            hybrid.add_fixed_node("fixed-0")
+
+    def test_node_kind_queries(self, hybrid):
+        assert hybrid.fixed_ids() == ["fixed-0"]
+        assert hybrid.mobile_ids() == ["mobile-0", "mobile-1"]
+        assert hybrid.node_ids() == ["fixed-0", "mobile-0", "mobile-1"]
+
+    def test_mobile_gets_default_battery(self, hybrid):
+        assert hybrid.node("mobile-0").battery is not None
+        assert hybrid.node("fixed-0").battery is None
+
+    def test_hop_latency_ordering(self, hybrid, engine):
+        """mobile→mobile (2 wireless hops) is slower than mobile→fixed."""
+        delivered = {}
+        for dst in ("fixed-0", "mobile-1"):
+            node = hybrid.node(dst)
+            node.bind_port("data", lambda pkt, d=dst: delivered.setdefault(
+                d, engine.now()))
+        sender = hybrid.node("mobile-0")
+        sender.send(make_packet("mobile-0", "fixed-0"))
+        sender.send(make_packet("mobile-0", "mobile-1"))
+        engine.run_until_idle()
+        assert delivered["fixed-0"] < delivered["mobile-1"]
+
+
+class TestUnicast:
+    def test_delivery_and_counters(self, hybrid, engine):
+        received = []
+        hybrid.node("fixed-0").bind_port("data", received.append)
+        hybrid.node("mobile-0").send(make_packet("mobile-0", "fixed-0"))
+        engine.run_until_idle()
+        assert len(received) == 1
+        assert hybrid.stats_of("mobile-0").sent_total == 1
+        assert hybrid.stats_of("fixed-0").recv_total == 1
+        assert hybrid.delivered_packets == 1
+
+    def test_unknown_destination_is_lost(self, hybrid, engine):
+        hybrid.node("mobile-0").send(make_packet("mobile-0", "ghost"))
+        engine.run_until_idle()
+        assert hybrid.lost_packets == 1
+
+    def test_unbound_port_counts_drop(self, hybrid, engine):
+        hybrid.node("mobile-0").send(make_packet("mobile-0", "fixed-0",
+                                                 port="nowhere"))
+        engine.run_until_idle()
+        assert hybrid.stats_of("fixed-0").dropped_packets == 1
+        assert hybrid.stats_of("fixed-0").snapshot()["dropped"] == 1
+
+    def test_traffic_class_counted_separately(self, hybrid, engine):
+        hybrid.node("fixed-0").bind_port("data", lambda pkt: None)
+        sender = hybrid.node("mobile-0")
+        sender.send(make_packet("mobile-0", "fixed-0", traffic_class="data"))
+        sender.send(make_packet("mobile-0", "fixed-0", traffic_class="control"))
+        engine.run_until_idle()
+        stats = hybrid.stats_of("mobile-0")
+        assert stats.sent_data == 1
+        assert stats.sent_control == 1
+        assert stats.sent_total == 2
+
+
+class TestNativeMulticast:
+    def test_wired_multicast_single_transmission(self, engine):
+        network = Network(engine, native_multicast_wired=True)
+        for index in range(3):
+            network.add_fixed_node(f"fixed-{index}")
+        received = []
+        for index in (1, 2):
+            network.node(f"fixed-{index}").bind_port(
+                "data", lambda pkt: received.append(pkt.dst))
+        network.node("fixed-0").send(
+            make_packet("fixed-0", ("fixed-0", "fixed-1", "fixed-2")))
+        engine.run_until_idle()
+        assert len(received) == 2  # self excluded
+        assert network.stats_of("fixed-0").sent_total == 1  # ONE transmission
+
+    def test_multicast_across_segments_rejected(self, hybrid):
+        with pytest.raises(ValueError, match="native multicast"):
+            hybrid.node("mobile-0").send(
+                make_packet("mobile-0", ("fixed-0", "mobile-1")))
+
+    def test_wired_multicast_disabled_by_default(self, engine):
+        network = Network(engine)
+        network.add_fixed_node("a")
+        network.add_fixed_node("b")
+        with pytest.raises(ValueError):
+            network.node("a").send(make_packet("a", ("a", "b")))
+
+    def test_adhoc_broadcast_when_enabled(self, engine):
+        network = Network(engine, wireless_broadcast=True)
+        for index in range(3):
+            network.add_mobile_node(f"mobile-{index}")
+        received = []
+        for index in (1, 2):
+            network.node(f"mobile-{index}").bind_port(
+                "data", received.append)
+        network.node("mobile-0").send(
+            make_packet("mobile-0", ("mobile-0", "mobile-1", "mobile-2")))
+        engine.run_until_idle()
+        assert len(received) == 2
+        assert network.stats_of("mobile-0").sent_total == 1
+
+    def test_per_receiver_message_isolation(self, engine):
+        network = Network(engine, native_multicast_wired=True)
+        for index in range(3):
+            network.add_fixed_node(f"fixed-{index}")
+        payloads = []
+
+        def receive_and_mutate(pkt):
+            pkt.message.push_header("local-mutation")
+            payloads.append(len(pkt.message.headers))
+
+        network.node("fixed-1").bind_port("data", receive_and_mutate)
+        network.node("fixed-2").bind_port("data", receive_and_mutate)
+        network.node("fixed-0").send(
+            make_packet("fixed-0", ("fixed-1", "fixed-2")))
+        engine.run_until_idle()
+        assert payloads == [1, 1]  # each saw a fresh header stack
+
+
+class TestLoss:
+    def test_bernoulli_loss_drops_packets(self, engine):
+        rng = random.Random(1)
+        network = Network(engine, wireless=LinkParams(
+            latency_s=0.002, bandwidth_bps=11e6, loss=BernoulliLoss(0.5, rng)))
+        network.add_mobile_node("m0")
+        network.add_fixed_node("f0")
+        received = []
+        network.node("f0").bind_port("data", received.append)
+        for _ in range(200):
+            network.node("m0").send(make_packet("m0", "f0"))
+        engine.run_until_idle()
+        assert 40 < len(received) < 160  # ~50% through one lossy hop
+        assert network.lost_packets == 200 - len(received)
+
+    def test_zero_loss_delivers_everything(self, engine):
+        network = Network(engine, wireless=LinkParams(
+            loss=BernoulliLoss(0.0, random.Random(1))))
+        network.add_mobile_node("m0")
+        network.add_fixed_node("f0")
+        received = []
+        network.node("f0").bind_port("data", received.append)
+        for _ in range(50):
+            network.node("m0").send(make_packet("m0", "f0"))
+        engine.run_until_idle()
+        assert len(received) == 50
+
+
+class TestFailureInjection:
+    def test_crashed_node_does_not_send(self, hybrid, engine):
+        hybrid.crash_node("mobile-0")
+        hybrid.node("mobile-0").send(make_packet("mobile-0", "fixed-0"))
+        engine.run_until_idle()
+        assert hybrid.stats_of("mobile-0").sent_total == 0
+        assert hybrid.stats_of("mobile-0").dropped_packets == 1
+
+    def test_crashed_node_does_not_receive(self, hybrid, engine):
+        received = []
+        hybrid.node("fixed-0").bind_port("data", received.append)
+        hybrid.crash_node("fixed-0")
+        hybrid.node("mobile-0").send(make_packet("mobile-0", "fixed-0"))
+        engine.run_until_idle()
+        assert received == []
+
+    def test_recovery_restores_node(self, hybrid, engine):
+        received = []
+        hybrid.node("fixed-0").bind_port("data", received.append)
+        hybrid.crash_node("fixed-0")
+        hybrid.recover_node("fixed-0")
+        hybrid.node("mobile-0").send(make_packet("mobile-0", "fixed-0"))
+        engine.run_until_idle()
+        assert len(received) == 1
+
+    def test_partition_blocks_cross_group_traffic(self, hybrid, engine):
+        received = []
+        hybrid.node("fixed-0").bind_port("data", received.append)
+        hybrid.partition({"mobile-0", "mobile-1"}, {"fixed-0"})
+        hybrid.node("mobile-0").send(make_packet("mobile-0", "fixed-0"))
+        engine.run_until_idle()
+        assert received == []
+        assert hybrid.lost_packets == 1
+        hybrid.heal_partition()
+        hybrid.node("mobile-0").send(make_packet("mobile-0", "fixed-0"))
+        engine.run_until_idle()
+        assert len(received) == 1
+
+
+class TestEnergy:
+    def test_tx_and_rx_drain_battery(self, hybrid, engine):
+        hybrid.node("mobile-1").bind_port("data", lambda pkt: None)
+        sender = hybrid.node("mobile-0")
+        receiver = hybrid.node("mobile-1")
+        before_tx = sender.battery.level_mj
+        before_rx = receiver.battery.level_mj
+        sender.send(make_packet("mobile-0", "mobile-1"))
+        engine.run_until_idle()
+        assert sender.battery.level_mj < before_tx
+        assert receiver.battery.level_mj < before_rx
+        # Transmission costs more than reception.
+        assert (before_tx - sender.battery.level_mj) > \
+            (before_rx - receiver.battery.level_mj)
+
+    def test_depleted_battery_stops_node(self, engine):
+        network = Network(engine)
+        network.add_mobile_node("m0", battery=Battery(capacity_mj=0.5))
+        network.add_fixed_node("f0")
+        network.node("f0").bind_port("data", lambda pkt: None)
+        for _ in range(10):
+            network.node("m0").send(make_packet("m0", "f0"))
+        engine.run_until_idle()
+        stats = network.stats_of("m0")
+        assert stats.sent_total < 10
+        assert not network.node("m0").alive
+        assert network.node("m0").battery.depleted_at is not None

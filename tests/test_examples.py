@@ -1,0 +1,34 @@
+"""The example scripts are part of the public API surface: they must run.
+
+Each example asserts its own claims internally (delivery, adaptation,
+ordering); these tests just execute them in a subprocess and require a
+clean exit.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples")
+    .glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    result = subprocess.run([sys.executable, str(script)],
+                            capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "adaptive_chat", "error_adaptive_fec",
+            "energy_aware_relay", "multi_room_chat"} <= names

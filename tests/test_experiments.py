@@ -1,0 +1,107 @@
+"""Smoke tests: every experiment harness runs and keeps its shape.
+
+These are scaled far below the benchmark sizes — they guard against the
+harnesses rotting, not against performance drift (that is what
+``pytest benchmarks/ --benchmark-only`` is for).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.control_overhead import (control_fraction,
+                                                format_breakdown,
+                                                run_breakdown)
+from repro.experiments.energy_lifetime import format_results, run_lifetime
+from repro.experiments.fec_crossover import (format_sweep as format_fec,
+                                             run_recovery)
+from repro.experiments.figure2_stacks import deploy_stacks, render, verify
+from repro.experiments.figure3 import (Figure3Config, format_figure3,
+                                       run_figure3, run_scenario)
+from repro.experiments.gossip_scale import format_sweep as format_gossip
+from repro.experiments.gossip_scale import run_scale
+from repro.experiments.kernel_micro import run_all as run_kernel_micro
+from repro.experiments.reconfiguration import run_reconfiguration
+from repro.experiments.report import format_table
+
+
+TINY = Figure3Config(node_counts=(2, 3), messages=60, warmup=20.0,
+                     drain=10.0, seed=1)
+
+
+class TestFigure3Harness:
+    def test_both_series_and_rendering(self):
+        points = run_figure3(TINY)
+        table = format_figure3(points, TINY.messages)
+        assert "devices" in table and "optimized" in table
+        for point in points:
+            assert point.optimized.delivered_everywhere
+            assert point.not_optimized.delivered_everywhere
+
+    def test_scenario_counts_match_paper_formula(self):
+        result = run_scenario(3, optimized=False, config=TINY)
+        assert result.sent_data == TINY.messages * 2
+        result = run_scenario(3, optimized=True, config=TINY)
+        assert result.sent_data == TINY.messages
+
+
+class TestFigure2Harness:
+    def test_deploy_render_verify(self):
+        captured = deploy_stacks(num_mobile=1, seed=2, settle_s=15.0)
+        assert verify(captured) == []
+        text = render(captured)
+        assert "mecho/wired" in text and "mecho/wireless" in text
+
+
+class TestAblationHarnesses:
+    def test_reconfiguration_harness(self):
+        result = run_reconfiguration(3, seed=5)
+        assert result.messages_lost == 0
+        assert result.latency_s > 0
+
+    def test_fec_crossover_harness(self):
+        arq = run_recovery(0.1, "arq", messages=40, seed=3)
+        fec = run_recovery(0.1, "fec", messages=40, seed=3)
+        assert arq.delivery_ratio > 0.95
+        assert fec.delivery_ratio > 0.95
+        table = format_fec([(arq, fec)])
+        assert "arq" in table
+
+    def test_gossip_scale_harness(self):
+        flood = run_scale(8, "flood", messages=10, seed=4)
+        gossip = run_scale(8, "gossip", messages=10, seed=4)
+        assert flood.origin_sent_per_multicast == 7.0
+        assert gossip.delivery_ratio > 0.8
+        assert "flood" in format_gossip([(flood, gossip)])
+
+    def test_energy_lifetime_harness(self):
+        result = run_lifetime("rotating", num_nodes=3, capacity_mj=800.0,
+                              horizon_s=300.0, seed=6)
+        assert 0 < result.lifetime_s <= 300.0
+        assert "rotating" in format_results([result])
+
+    def test_control_overhead_harness(self):
+        adaptive, baseline = run_breakdown(num_nodes=3, messages=60, seed=7)
+        assert control_fraction(baseline) < control_fraction(adaptive) < 1.0
+        table = format_breakdown(adaptive, baseline)
+        assert "ApplicationMessage" in table
+
+    def test_kernel_micro_harness(self):
+        results = run_kernel_micro()
+        by_name = {r.name: r for r in results}
+        assert any("routing throughput" in name for name in by_name)
+        optimization = next(r for r in results
+                            if "dispatches/event" in r.name)
+        assert optimization.value == 1.0
+
+
+class TestReportFormatting:
+    def test_table_alignment(self):
+        table = format_table(["name", "value"], [["x", 1], ["yy", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
