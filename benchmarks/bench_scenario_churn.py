@@ -1,0 +1,46 @@
+"""Scenario benchmarks — the cost of living through topology change.
+
+Wraps :mod:`repro.experiments.scenario_suite`.  Shape assertions: every
+canned scenario triggers live reconfigurations, the handoff scenario loses
+no application messages, and the churn storm's surviving members keep the
+chat flowing end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.library import CANNED, canned
+from repro.scenarios.runner import run_scenario
+
+
+@pytest.mark.parametrize("name", sorted(CANNED))
+def test_scenario_cost(benchmark, name):
+    result = benchmark.pedantic(
+        lambda: run_scenario(canned(name), seed=21),
+        rounds=1, iterations=1)
+    assert result.reconfiguration_count() >= 1
+    benchmark.extra_info["reconfigurations"] = result.reconfiguration_count()
+    benchmark.extra_info["engine_events"] = result.engine_events
+    benchmark.extra_info["lost_packets"] = result.lost_packets
+
+
+def test_handoff_scenario_loses_nothing():
+    result = run_scenario(canned("commuter_handoff"), seed=21)
+    expected = tuple(f"m-{i}" for i in range(100))
+    for node_id, texts in result.texts.items():
+        assert texts == expected, node_id
+
+
+def test_churn_storm_survivors_keep_delivering():
+    result = run_scenario(canned("churn_storm"), seed=21)
+    # The sender and the never-touched mobile-0 must agree end to end.
+    assert result.texts["fixed-0"] == result.texts["mobile-0"]
+    assert len(result.texts["fixed-0"]) == 120
+
+
+def test_churn_scales_with_group_size():
+    small = run_scenario(canned("flash_crowd_join", joiners=2), seed=21)
+    large = run_scenario(canned("flash_crowd_join", joiners=5), seed=21)
+    # Each admitted wave costs one redeployment.
+    assert large.reconfiguration_count() > small.reconfiguration_count()

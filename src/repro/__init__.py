@@ -16,7 +16,30 @@ Sub-packages:
 * :mod:`repro.core` — Core: control and reconfiguration, plus the Morpheus
   node facade;
 * :mod:`repro.apps` — the chat application and workload drivers;
-* :mod:`repro.experiments` — harnesses regenerating the paper's figures.
+* :mod:`repro.experiments` — harnesses regenerating the paper's figures;
+* :mod:`repro.scenarios` — dynamic-topology scenarios (see below).
+
+Scenarios
+---------
+
+The paper's premise is re-adaptation *when context changes*; the
+:mod:`repro.scenarios` subsystem makes that class of runs first-class.  A
+declarative :class:`~repro.scenarios.Scenario` describes the topology
+(including nodes that join mid-run), a timed schedule of events — segment
+handoffs (FIXED↔MOBILE), crashes/recoveries, graceful leaves, loss-model
+swaps, partitions and heals — and the chat workload.  The
+:class:`~repro.scenarios.ScenarioRunner` executes the schedule on the
+simulation timeline while the full Morpheus pipeline adapts live; equal
+seeds replay byte-identically.  Canned scenarios
+(:data:`~repro.scenarios.CANNED`) cover a commuter handoff, a flash-crowd
+join, a degrading-channel FEC crossover, a churn storm and a partition
+heal::
+
+    from repro.scenarios import canned, run_scenario
+
+    result = run_scenario(canned("commuter_handoff"), seed=42)
+    print(result.stacks_of("commuter"))   # plain → mecho → plain, live
+    print(result.trace)                   # every event and reconfiguration
 
 Quickstart::
 

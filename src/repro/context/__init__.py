@@ -7,22 +7,25 @@ not just the local one — is available everywhere.
 """
 
 from repro.context.cocaditem import CocaditemLayer, CocaditemSession
-from repro.context.model import (BANDWIDTH, BATTERY, DEVICE_TYPE,
-                                 LINK_QUALITY, MEMORY, TOPIC_PREFIX,
-                                 ContextSample, ContextSnapshot, topic_for)
+from repro.context.model import (BANDWIDTH, BATTERY, CONNECTIVITY,
+                                 DEVICE_TYPE, LINK_QUALITY, MEMORY,
+                                 TOPIC_PREFIX, ContextSample,
+                                 ContextSnapshot, topic_for)
 from repro.context.pubsub import Subscription, TopicBus
 from repro.context.retrievers import (BandwidthRetriever, BatteryRetriever,
-                                      CallableRetriever, ContextRetriever,
-                                      DeviceTypeRetriever,
+                                      CallableRetriever,
+                                      ConnectivityRetriever,
+                                      ContextRetriever, DeviceTypeRetriever,
                                       LinkQualityRetriever, MemoryRetriever,
                                       default_retrievers)
 
 __all__ = [
     "CocaditemLayer", "CocaditemSession",
-    "BANDWIDTH", "BATTERY", "DEVICE_TYPE", "LINK_QUALITY", "MEMORY",
-    "TOPIC_PREFIX", "ContextSample", "ContextSnapshot", "topic_for",
+    "BANDWIDTH", "BATTERY", "CONNECTIVITY", "DEVICE_TYPE", "LINK_QUALITY",
+    "MEMORY", "TOPIC_PREFIX", "ContextSample", "ContextSnapshot",
+    "topic_for",
     "Subscription", "TopicBus",
     "BandwidthRetriever", "BatteryRetriever", "CallableRetriever",
-    "ContextRetriever", "DeviceTypeRetriever", "LinkQualityRetriever",
-    "MemoryRetriever", "default_retrievers",
+    "ConnectivityRetriever", "ContextRetriever", "DeviceTypeRetriever",
+    "LinkQualityRetriever", "MemoryRetriever", "default_retrievers",
 ]

@@ -47,6 +47,7 @@ class CocaditemSession(GroupSession):
         self.retrievers: list[ContextRetriever] = []
         self.bus: Optional[TopicBus] = None
         self._last_sent: Optional[dict[str, Any]] = None
+        self._channel = None
         #: Snapshots multicast on the control channel (diagnostics).
         self.snapshots_sent = 0
 
@@ -65,10 +66,28 @@ class CocaditemSession(GroupSession):
             raise RuntimeError(
                 "CocaditemSession not attached; call attach(node, bus) "
                 "before starting the control channel")
+        self._channel = event.channel
         self.set_periodic_timer(self.publish_interval, tag=_PUBLISH_TIMER,
                                 channel=event.channel)
         # Seed the bus (and, once a view exists, the group) immediately.
         self.set_timer(0.0, tag=_PUBLISH_TIMER, channel=event.channel)
+
+    def on_view(self, event) -> None:
+        # Membership changed (join, exclusion, merge): disseminate right
+        # away so the control plane learns the newcomers' context within a
+        # round-trip instead of a full publish interval.
+        if self._channel is not None:
+            self.set_timer(0.0, tag=_PUBLISH_TIMER, channel=self._channel)
+
+    def publish_now(self) -> None:
+        """Sample and disseminate immediately (event-driven adaptation).
+
+        Called by the Morpheus facade when the network topology mutates
+        under this node — the paper's periodic dissemination remains the
+        baseline, this is the scenario subsystem's fast path.
+        """
+        if self._channel is not None:
+            self._collect_and_publish(self._channel)
 
     def on_event(self, event: Event) -> None:
         if isinstance(event, TimerEvent):

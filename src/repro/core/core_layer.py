@@ -19,7 +19,7 @@ group."*  Coordination protocol:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.core.local_module import LocalModule
 from repro.core.policy import ContextDirectory, Policy, ReconfigurationPlan
@@ -45,12 +45,18 @@ class CoreSession(GroupSession):
         self.directory: Optional[ContextDirectory] = None
         #: Configuration the coordinator believes is deployed everywhere.
         self.deployed_name: str = "plain"
+        #: Membership the deployed data templates were built for (the
+        #: coordinator redeploys when the control group *grows* beyond it —
+        #: that is how joiners get folded into the data channel; shrinking
+        #: is handled by the data channel's own failure detector).
+        self.deployed_members: Optional[tuple[str, ...]] = None
         #: Invoked (name) when a reconfiguration completes group-wide.
         self.on_reconfigured: Optional[Callable[[str], None]] = None
 
         # Coordinator-side state.
         self._config_id = 0
         self._active_plan: Optional[ReconfigurationPlan] = None
+        self._active_members: Optional[tuple[str, ...]] = None
         self._acks: set[str] = set()
         #: Completed group-wide reconfigurations (diagnostics/benches).
         self.reconfigurations_completed = 0
@@ -65,12 +71,20 @@ class CoreSession(GroupSession):
 
     def attach(self, local_module: LocalModule, policy: Policy,
                directory: ContextDirectory,
-               initial_config_name: str = "plain") -> None:
-        """Wire the session to its local module, policy and directory."""
+               initial_config_name: str = "plain",
+               initial_members: Optional[Sequence[str]] = None) -> None:
+        """Wire the session to its local module, policy and directory.
+
+        ``initial_members`` is the membership the initial data template was
+        built for; when omitted, membership changes alone never force a
+        redeployment (the pre-dynamic-topology behaviour).
+        """
         self.local_module = local_module
         self.policy = policy
         self.directory = directory
         self.deployed_name = initial_config_name
+        self.deployed_members = tuple(sorted(initial_members)) \
+            if initial_members is not None else None
 
     # -- protocol ---------------------------------------------------------------
 
@@ -81,6 +95,27 @@ class CoreSession(GroupSession):
                 "the control channel")
         self.set_periodic_timer(self.evaluate_interval, tag=_EVALUATE_TIMER,
                                 channel=event.channel)
+
+    def on_view(self, event) -> None:
+        # Members excluded from the control group also fall out of the data
+        # channel on their own (its failure detector sees the same crash) —
+        # prune them from the deployed membership so that their *return*
+        # (recovery, healed partition) registers as growth and triggers the
+        # redeployment that folds them back in.
+        if self.deployed_members is not None:
+            self.deployed_members = tuple(
+                member for member in self.deployed_members
+                if member in event.view.members)
+        if self.local is not None and \
+                self.local in getattr(event, "joiners", ()):
+            # Re-admitted from outside the group: any configuration this
+            # node applied while isolated (e.g. a singleton's self-switch
+            # to plain) used its *own* id numbering, which may collide with
+            # the group's.  Start over so the coordinator's next
+            # configuration is never mistaken for a duplicate.
+            self._last_applied_id = 0
+            self._applying_id = None
+            self._applying_name = None
 
     def on_event(self, event: Event) -> None:
         if isinstance(event, TimerEvent):
@@ -107,7 +142,12 @@ class CoreSession(GroupSession):
             self._resend_pending(channel)
             return
         plan = self.policy.decide(self.directory, list(self.members))
-        if plan is None or plan.name == self.deployed_name:
+        if plan is None:
+            return
+        members_now = tuple(sorted(self.members))
+        grown = self.deployed_members is not None and \
+            bool(set(members_now) - set(self.deployed_members))
+        if plan.name == self.deployed_name and not grown:
             return
         self._start_reconfiguration(plan, channel)
 
@@ -119,6 +159,7 @@ class CoreSession(GroupSession):
         # configuration for a duplicate of an old one.
         self._config_id = max(self._config_id, self._last_applied_id) + 1
         self._active_plan = plan
+        self._active_members = tuple(sorted(self.members))
         self._acks = set()
         self.last_reconfig_started_at = channel.kernel.clock.now()
         for member in self.members:
@@ -157,7 +198,10 @@ class CoreSession(GroupSession):
             return
         if set(self.members).issubset(self._acks):
             self.deployed_name = self._active_plan.name
+            if self._active_members is not None:
+                self.deployed_members = self._active_members
             self._active_plan = None
+            self._active_members = None
             self.reconfigurations_completed += 1
             if self.channels:
                 self.last_reconfig_completed_at = \

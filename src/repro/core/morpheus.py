@@ -29,7 +29,9 @@ from repro.core.policy import ContextDirectory, HybridMechoPolicy, Policy
 from repro.core.templates import (APP_LABEL, TRANSPORT_LABEL,
                                   control_template, plain_data_template)
 from repro.kernel.channel import Channel
+from repro.kernel.events import Direction
 from repro.kernel.xml_config import ChannelTemplate
+from repro.protocols.events import LeaveRequestEvent
 from repro.simnet.network import Network
 from repro.simnet.transport import SimTransportLayer, SimTransportSession
 
@@ -51,7 +53,12 @@ class MorpheusNode:
         room: chat room name.
         publish_interval / evaluate_interval / heartbeat_interval /
         nack_interval: component periods, in virtual seconds.
-        retrievers: context retriever set (defaults to the standard five).
+        retrievers: context retriever set (defaults to the standard six).
+        joining: build the node as a mid-run joiner — its control channel
+            solicits admission from ``group_members`` (which must list the
+            running group plus this node) and its data channel boots as a
+            singleton until the Core coordinator folds it into the group's
+            next configuration.
     """
 
     def __init__(self, network: Network, node_id: str,
@@ -64,10 +71,12 @@ class MorpheusNode:
                  evaluate_interval: float = 5.0,
                  heartbeat_interval: float = 5.0,
                  nack_interval: float = 0.25,
-                 retrievers: Optional[list[ContextRetriever]] = None) -> None:
+                 retrievers: Optional[list[ContextRetriever]] = None,
+                 joining: bool = False) -> None:
         self.network = network
         self.node = network.node(node_id)
         self.members = tuple(sorted(group_members))
+        self.joining = joining
         self.bus = TopicBus()
         self.directory = ContextDirectory(self.bus)
 
@@ -91,7 +100,8 @@ class MorpheusNode:
                                 publish_interval=publish_interval,
                                 evaluate_interval=evaluate_interval,
                                 heartbeat_interval=heartbeat_interval,
-                                nack_interval=nack_interval)
+                                nack_interval=nack_interval,
+                                joining=joining)
         self.control_channel: Channel = ctrl.instantiate(
             self.node.kernel, channel_name="ctrl",
             session_bindings=self.bindings, start=False)
@@ -103,20 +113,36 @@ class MorpheusNode:
         assert isinstance(core, CoreSession)
         self.policy = policy if policy is not None else HybridMechoPolicy(
             stack_options=stack_options)
+        # A joiner's initial data channel is a singleton group: the Core
+        # coordinator redeploys everyone (joiner included) with the grown
+        # membership once the control channel admits it.
+        initial_data_members = (node_id,) if joining else self.members
         core.attach(self.local_module, self.policy, self.directory,
-                    initial_config_name="plain")
+                    initial_config_name="plain",
+                    initial_members=initial_data_members)
         self.core = core
         self.control_channel.start()
 
         # Data channel: plain configuration until Core decides otherwise.
         template = data_template if data_template is not None else \
-            plain_data_template(self.members, **stack_options)
+            plain_data_template(initial_data_members, **stack_options)
         self.data_channel = self.local_module.deploy_initial(template)
 
         chat = self.bindings.get(APP_LABEL)
         assert isinstance(chat, ChatSession), \
             "data template must place a chat_app layer on top"
         self.chat = chat
+
+        # Event-driven adaptation: any runtime topology mutation triggers
+        # an immediate context dissemination (one virtual instant later, so
+        # the publish runs outside the mutating call), instead of waiting
+        # out the publish interval.
+        network.subscribe_topology(self._on_topology_change)
+
+    def _on_topology_change(self, change) -> None:
+        if not self.node.alive:
+            return
+        self.network.engine.call_later(0.0, self.cocaditem.publish_now)
 
     # -- conveniences -----------------------------------------------------------
 
@@ -132,6 +158,19 @@ class MorpheusNode:
     def send(self, text: str) -> None:
         """Send a chat message to the group."""
         self.chat.send(text)
+
+    def leave(self) -> None:
+        """Gracefully leave both groups (control and data).
+
+        The membership layers run their leave flushes; the caller is
+        expected to remove the node from the network once they complete
+        (see :meth:`~repro.simnet.network.Network.remove_node`).
+        """
+        if self.local_module.data_channel is not None:
+            self.local_module.data_channel.insert(LeaveRequestEvent(),
+                                                  Direction.DOWN)
+        self.control_channel.insert(LeaveRequestEvent(), Direction.DOWN)
+        self.network.unsubscribe_topology(self._on_topology_change)
 
     def current_stack(self) -> list[str]:
         """Layer names of the live data stack, bottom → top."""

@@ -35,17 +35,23 @@ def _members_csv(members: Sequence[str]) -> str:
 
 def _suite_specs(members: Sequence[str], heartbeat_interval: float,
                  nack_interval: float, view_id: int,
-                 label_viewsync: bool = True) -> list[LayerSpec]:
+                 label_viewsync: bool = True,
+                 joining: bool = False) -> list[LayerSpec]:
     """The common middle of every stack: viewsync/membership/hb/reliable.
 
     The view-synchrony session is labelled (preserved across swaps) only on
     data channels; the control channel keeps its own private instance.
+    ``joining`` puts the membership layer in joiner mode (solicit admission
+    instead of self-installing the bootstrap view).
     """
     csv = _members_csv(members)
+    membership_params: dict = {"members": csv, "view_id": view_id}
+    if joining:
+        membership_params["join"] = True
     return [
         LayerSpec("view_sync",
                   session_label=VIEWSYNC_LABEL if label_viewsync else None),
-        LayerSpec("membership", {"members": csv, "view_id": view_id}),
+        LayerSpec("membership", membership_params),
         LayerSpec("heartbeat", {"members": csv,
                                 "interval": heartbeat_interval}),
         LayerSpec("reliable", {"members": csv,
@@ -140,8 +146,14 @@ def control_template(members: Sequence[str], *, name: str = "ctrl",
                      publish_interval: float = 10.0,
                      evaluate_interval: float = 5.0,
                      heartbeat_interval: float = 5.0,
-                     nack_interval: float = 0.25) -> ChannelTemplate:
-    """The shared Cocaditem + Core control channel (paper §3.2–3.3)."""
+                     nack_interval: float = 0.25,
+                     joining: bool = False) -> ChannelTemplate:
+    """The shared Cocaditem + Core control channel (paper §3.2–3.3).
+
+    ``joining`` builds the control stack of a node that enters a running
+    system: its membership layer asks the listed peers for admission
+    instead of self-installing a bootstrap view.
+    """
     csv = _members_csv(members)
     specs = [
         LayerSpec("core", {"evaluate_interval": evaluate_interval},
@@ -150,7 +162,7 @@ def control_template(members: Sequence[str], *, name: str = "ctrl",
                   session_label=COCADITEM_LABEL),
     ]
     specs += _suite_specs(members, heartbeat_interval, nack_interval,
-                          view_id=0, label_viewsync=False)
+                          view_id=0, label_viewsync=False, joining=joining)
     specs.append(LayerSpec("beb", {"members": csv}))
     specs.append(LayerSpec("sim_transport", session_label=TRANSPORT_LABEL))
     return ChannelTemplate(name, tuple(specs))

@@ -27,7 +27,8 @@ from repro.protocols.events import (GROUP_DEST, ApplicationMessage,
                                     MembershipMessage, NackMessage,
                                     OrderMessage, ParityMessage,
                                     QuiescentEvent, RetransmissionMessage,
-                                    SequencedEvent, SuspectEvent, SyncMessage,
+                                    SequencedEvent, StrangerEvent,
+                                    SuspectEvent, SyncMessage,
                                     TriggerViewChangeEvent, UnsuspectEvent,
                                     View, ViewEvent)
 from repro.protocols.fec import FecLayer, FecSession
@@ -52,8 +53,9 @@ __all__ = [
     "FlushStatusEvent", "GossipMessage", "GroupSendableEvent",
     "HeartbeatMessage", "LeaveRequestEvent", "MembershipMessage",
     "NackMessage", "OrderMessage", "ParityMessage", "QuiescentEvent",
-    "RetransmissionMessage", "SequencedEvent", "SuspectEvent", "SyncMessage",
-    "TriggerViewChangeEvent", "UnsuspectEvent", "View", "ViewEvent",
+    "RetransmissionMessage", "SequencedEvent", "StrangerEvent",
+    "SuspectEvent", "SyncMessage", "TriggerViewChangeEvent",
+    "UnsuspectEvent", "View", "ViewEvent",
     "FecLayer", "FecSession",
     "FragmentationLayer", "FragmentationSession", "FragmentEvent",
     "GossipLayer", "GossipSession",

@@ -158,11 +158,18 @@ class CoreMessage(GroupSendableEvent):
 
 
 class ViewEvent(Event):
-    """A new view was installed; travels both up and down the stack."""
+    """A new view was installed; travels both up and down the stack.
 
-    def __init__(self, view: View) -> None:
+    ``joiners`` lists members admitted from outside the previous view —
+    layers that track per-member history (Core's reconfiguration numbering
+    above all) must treat a listed *self* as a fresh start, because a
+    re-admitted node's private history diverged from the group's.
+    """
+
+    def __init__(self, view: View, joiners: tuple[str, ...] = ()) -> None:
         super().__init__()
         self.view = view
+        self.joiners = joiners
 
 
 class BlockEvent(Event):
@@ -183,6 +190,20 @@ class SuspectEvent(Event):
 
 class UnsuspectEvent(Event):
     """A previously suspected member proved to be alive."""
+
+    def __init__(self, member: str) -> None:
+        super().__init__()
+        self.member = member
+
+
+class StrangerEvent(Event):
+    """The failure detector heard a beacon from a node outside the view.
+
+    Raised for a recovered member that the group already excluded, for the
+    far side of a healed partition, or for a booting joiner whose beacons
+    arrive before its admission.  The membership layer decides whether the
+    stranger should be (re-)admitted — deliberately departed members are
+    not."""
 
     def __init__(self, member: str) -> None:
         super().__init__()

@@ -80,6 +80,8 @@ class FecSession(GroupSession):
         self._position = 0
         self._outgoing: list[bytes] = []
         self._blocks: dict[tuple[str, int], _BlockState] = {}
+        #: Foreign-framed packets dropped (generation skew diagnostics).
+        self.foreign_dropped = 0
         self._timer_armed = False
         #: Diagnostics for the crossover bench.
         self.recovered_count = 0
@@ -159,8 +161,15 @@ class FecSession(GroupSession):
         return state
 
     def _incoming_data(self, event: ApplicationMessage) -> None:
-        tag, sender, block, position = event.message.pop_header()
-        assert tag == _HEADER_TAG, f"not a fec frame: {tag!r}"
+        if not event.message.headers:
+            self.foreign_dropped += 1  # headerless frame (generation skew)
+            return
+        header = event.message.pop_header()
+        if not (isinstance(header, tuple) and len(header) == 4 and
+                header[0] == _HEADER_TAG):
+            self.foreign_dropped += 1  # generation skew: not a fec frame
+            return
+        _tag, sender, block, position = header
         if sender == self.local:
             event.go()  # loopback: already accounted on the send side
             return

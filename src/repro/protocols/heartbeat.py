@@ -19,8 +19,8 @@ from repro.kernel.layer import Layer
 from repro.kernel.registry import register_layer
 from repro.protocols.base import GroupSession
 from repro.protocols.events import (GROUP_DEST, HeartbeatMessage,
-                                    PathChangedEvent, SuspectEvent,
-                                    UnsuspectEvent, ViewEvent)
+                                    PathChangedEvent, StrangerEvent,
+                                    SuspectEvent, UnsuspectEvent, ViewEvent)
 
 _BEAT_TIMER = "hb-beat"
 
@@ -86,6 +86,13 @@ class HeartbeatSession(GroupSession):
 
     def _heard(self, event: HeartbeatMessage) -> None:
         member = self.payload_of(event)["from"]
+        if self.view is not None and not self.view.includes(member) and \
+                member != self.local:
+            # A live node outside the agreed view: a recovered member the
+            # group already excluded, the far side of a healed partition,
+            # or a joiner booting up.  Membership above decides its fate.
+            self.send_up(StrangerEvent(member), channel=event.channel)
+            return
         self.last_heard[member] = self._now(event.channel)
         if member in self.suspected:
             self.suspected.discard(member)
@@ -137,5 +144,6 @@ class HeartbeatLayer(Layer):
     layer_name = "heartbeat"
     accepted_events = (HeartbeatMessage, PathChangedEvent, TimerEvent,
                        ViewEvent)
-    provided_events = (HeartbeatMessage, SuspectEvent, UnsuspectEvent)
+    provided_events = (HeartbeatMessage, SuspectEvent, UnsuspectEvent,
+                       StrangerEvent)
     session_class = HeartbeatSession

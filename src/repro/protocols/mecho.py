@@ -71,6 +71,8 @@ class MechoSession(GroupSession):
             layer.params.get("relay_timeout", 4.0))
         self._relay_heard = 0.0
         self._probe_armed = False
+        #: Foreign-framed packets dropped (generation skew diagnostics).
+        self.foreign_dropped = 0
 
     # -- helpers ---------------------------------------------------------------
 
@@ -178,8 +180,18 @@ class MechoSession(GroupSession):
 
     def _incoming(self, event: GroupSendableEvent) -> None:
         channel = event.channel
-        tag, kind, origin = event.message.pop_header()
-        assert tag == _HEADER_TAG, f"not a mecho frame: {tag!r}"
+        if not event.message.headers:
+            self.foreign_dropped += 1  # headerless frame: not from mecho
+            return
+        header = event.message.pop_header()
+        if not (isinstance(header, tuple) and len(header) == 3 and
+                header[0] == _HEADER_TAG):
+            # Frame from a differently-composed stack on the same port
+            # (generation skew during reconfiguration): drop, the reliable
+            # layer's retransmission recovers the content.
+            self.foreign_dropped += 1
+            return
+        _tag, kind, origin = header
         if kind == RELAYED or origin == self.relay:
             # Proof of relay liveness: it transmitted this frame.
             self._relay_heard = channel.kernel.clock.now()

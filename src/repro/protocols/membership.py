@@ -35,6 +35,22 @@ by re-unicasting the installation.
 The initial view is installed from the bootstrap ``members`` parameter
 (deterministically, without communication) one virtual instant after
 ``ChannelInit``.
+
+Dynamic membership growth (the scenario subsystem's join/rejoin path):
+
+* a node started with ``join=true`` does **not** self-install a bootstrap
+  view; it periodically unicasts ``join_req`` to its bootstrap peers until
+  the acting coordinator admits it through a flush whose target view *adds*
+  the joiner.  Joiners hold no traffic in the closing view, so the flush
+  runs among the old view's survivors only and the joiner receives the
+  installation by unicast (re-announced for a few ticks, and re-sent in
+  answer to any further ``join_req``);
+* a **stranger beacon** (:class:`StrangerEvent` from the failure detector —
+  a live node outside the view) re-admits recovered members and merges
+  healed partitions through the same flush path.  Deliberate departures
+  (leaves, explicit exclusions) are remembered in a ``banned`` set carried
+  on every installation, so a departed node's lingering beacons do not
+  resurrect it; an explicit ``join_req`` lifts the ban.
 """
 
 from __future__ import annotations
@@ -50,8 +66,9 @@ from repro.protocols.events import (GROUP_DEST, BlockEvent, CutReachedEvent,
                                     FlushCutEvent, FlushQueryEvent,
                                     FlushStatusEvent, LeaveRequestEvent,
                                     MembershipMessage, QuiescentEvent,
-                                    SuspectEvent, TriggerViewChangeEvent,
-                                    UnsuspectEvent, View, ViewEvent)
+                                    StrangerEvent, SuspectEvent,
+                                    TriggerViewChangeEvent, UnsuspectEvent,
+                                    View, ViewEvent)
 
 _INSTALL_TIMER = "gms-install-initial"
 _RETRY_TIMER = "gms-retry"
@@ -69,6 +86,23 @@ _SELF_RELEASE_TICKS = 6
 #: installation (and stays swappable-but-unswapped) before releasing its
 #: own quiescence — a grace period that repairs single losses cheaply.
 _HOLD_GRACE_TICKS = 2
+
+#: Retry ticks the flush coordinator keeps re-unicasting an installation to
+#: the view's joiners.  Joining nodes have their own ``join_req`` retry
+#: loop, but *re-admitted* nodes (recovered members, a healed partition's
+#: far side) do not know they were excluded and cannot re-ask — repetition
+#: drives the residual loss probability down instead.
+_JOIN_ANNOUNCE_TICKS = 6
+
+#: A suspicion-based exclusion may be a false positive (a partition, a
+#: transient overload), and once both sides have shrunk their views no
+#: beacon ever crosses the old boundary again — so every node keeps
+#: probing the peers it lost to suspicion with ``join_req``, every
+#: ``_PROBE_EVERY_TICKS``-th retry tick, up to ``_PROBE_BUDGET`` probes per
+#: peer.  A healed partition merges through these probes; a genuinely dead
+#: peer costs a bounded trickle of unicasts and is then given up on.
+_PROBE_EVERY_TICKS = 4
+_PROBE_BUDGET = 40
 
 
 class _Phase(enum.Enum):
@@ -88,9 +122,20 @@ class MembershipSession(GroupSession):
         self.retry_interval: float = float(
             layer.params.get("retry_interval", 0.5))
         self._bootstrap_view_id = int(layer.params.get("view_id", 0))
+        #: Joiner mode: solicit admission instead of self-installing.
+        self.joining: bool = bool(layer.params.get("join", False))
         self.phase = _Phase.STABLE
         self.suspected: set[str] = set()
         self.pending_leavers: set[str] = set()
+        #: Nodes awaiting admission into the next view.
+        self.pending_joiners: set[str] = set()
+        #: Deliberately departed members; their beacons do not readmit them.
+        self.banned: set[str] = set()
+        self._deliberate_excludes: set[str] = set()
+        #: Peers lost to suspicion-based exclusion, with their remaining
+        #: probe budget (see _PROBE_BUDGET).
+        self._lost_peers: dict[str, int] = {}
+        self._probe_countdown = _PROBE_EVERY_TICKS
         self.held_view: Optional[View] = None
         #: Called with the held view when a hold-flush completes (Core hook).
         self.quiescence_listener: Optional[Callable[[View], None]] = None
@@ -111,9 +156,13 @@ class MembershipSession(GroupSession):
         self._install_wait_ticks = 0
         self._hold_grace_ticks = 0
         self._pending_quiescence: Optional[View] = None
+        # Post-install re-announcement to joiners (this node announced).
+        self._announce_joiners: tuple[str, ...] = ()
+        self._announce_ticks = 0
         #: Diagnostics: flush rounds completed, for tests and benches.
         self.flushes_completed = 0
         self.self_released = 0
+        self.joins_admitted = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -138,8 +187,12 @@ class MembershipSession(GroupSession):
     def _next_view(self) -> View:
         assert self.view is not None
         excluded = self.suspected | self.pending_leavers
-        if excluded & set(self.view.members):
-            return self.view.without(*excluded)
+        current = set(self.view.members)
+        joiners = self.pending_joiners - current - excluded - self.banned
+        if (excluded & current) or joiners:
+            members = tuple(m for m in self.view.members
+                            if m not in excluded) + tuple(sorted(joiners))
+            return View(self.group, self.view.view_id + 1, members)
         return self.view.refresh()
 
     # -- event dispatch -------------------------------------------------------------
@@ -157,6 +210,9 @@ class MembershipSession(GroupSession):
         if isinstance(event, UnsuspectEvent):
             self.suspected.discard(event.member)
             event.go()
+            return
+        if isinstance(event, StrangerEvent):
+            self._on_stranger(event)
             return
         if isinstance(event, TriggerViewChangeEvent):
             self._on_trigger(event)
@@ -176,13 +232,42 @@ class MembershipSession(GroupSession):
 
     def _on_timer(self, event: TimerEvent) -> None:
         if event.tag == _INSTALL_TIMER:
-            if self.view is None and self.members:
+            if self.view is not None:
+                return
+            if self.joining:
+                # Never self-install: ask the running group for admission.
+                self._solicit_join(event.channel)
+                self._arm_retry(event.channel)
+            elif self.members:
                 initial = View(self.group, self._bootstrap_view_id,
                                self.members)
                 self._install(initial, hold=False, channel=event.channel)
             return
         if event.tag == _RETRY_TIMER:
             self._retry_tick(event.channel)
+
+    def _solicit_join(self, channel) -> None:
+        """Unicast ``join_req`` to every bootstrap peer (whichever of them
+        is the acting coordinator will drive the admission)."""
+        assert self.local is not None
+        for member in self.members:
+            if member == self.local:
+                continue
+            self._send_join_req(member, channel)
+
+    def _send_join_req(self, dest: str, channel) -> None:
+        # The request carries this side's acting coordinator (None for a
+        # fresh joiner): two established views merging must agree on a
+        # direction, and the rule is that the side with the lowest
+        # coordinator id absorbs the other (see _on_join_request).
+        coordinator = self._flush_coordinator() if self.view is not None \
+            else None
+        request = self.control_message(
+            MembershipMessage,
+            {"kind": "join_req", "from": self.local,
+             "coordinator": coordinator},
+            dest=dest, source=self.local)
+        self.send_down(request, channel=channel)
 
     def _arm_retry(self, channel) -> None:
         if self._retry_handle is None:
@@ -196,6 +281,25 @@ class MembershipSession(GroupSession):
 
     def _retry_tick(self, channel) -> None:
         """Re-announce the current coordinator phase and member ack."""
+        if self.joining and self.view is None:
+            self._solicit_join(channel)
+            return
+        if self._announce_ticks > 0 and \
+                self._last_install_payload is not None and \
+                self._target_view is None:
+            # Re-announce a fresh installation to its joiners (they cannot
+            # NACK what they never learned about; see _JOIN_ANNOUNCE_TICKS).
+            # Guarded on no flush being active: _broadcast_install builds
+            # from the in-progress target when one exists, and a
+            # not-yet-agreed view must never reach a joiner.
+            self._announce_ticks -= 1
+            for joiner in self._announce_joiners:
+                self._broadcast_install(channel, unicast_to=joiner)
+        if self._probing_lost_peers():
+            self._probe_countdown -= 1
+            if self._probe_countdown <= 0:
+                self._probe_countdown = _PROBE_EVERY_TICKS
+                self._probe_lost_peers(channel)
         coordinating = self._target_view is not None and \
             self.view is not None and self._flush_coordinator() == self.local
         if coordinating:
@@ -237,8 +341,22 @@ class MembershipSession(GroupSession):
                 self.self_released += 1
                 self._install(self._target_view, hold=True, channel=channel,
                               immediate=True)
-        elif self.phase is _Phase.STABLE and not coordinating:
+        elif self.phase is _Phase.STABLE and not coordinating and \
+                self._announce_ticks <= 0 and not self._probing_lost_peers():
             self._stop_retry()
+
+    def _probing_lost_peers(self) -> bool:
+        return self.view is not None and bool(self._lost_peers)
+
+    def _probe_lost_peers(self, channel) -> None:
+        assert self.local is not None
+        for peer in sorted(self._lost_peers):
+            remaining = self._lost_peers[peer] - 1
+            if remaining <= 0:
+                del self._lost_peers[peer]
+            else:
+                self._lost_peers[peer] = remaining
+            self._send_join_req(peer, channel)
 
     # -- suspicion / triggers ---------------------------------------------------------
 
@@ -247,6 +365,28 @@ class MembershipSession(GroupSession):
         event.go()  # let upper layers observe the suspicion
         if self.view is None or not self.view.includes(event.member):
             return
+        if self._flush_coordinator() != self.local:
+            return
+        if self.phase is _Phase.STABLE and self._target_view is None:
+            self._start_flush(hold=False, channel=event.channel)
+        elif self._target_view is not None and \
+                not self._install_announced and \
+                self._target_view.includes(event.member):
+            # A participant of the running flush died: its ack will never
+            # arrive and the flush would wedge.  Restart towards a target
+            # that excludes it (same next view id, smaller membership —
+            # surviving members simply re-join the revised flush).
+            self._start_flush(hold=self._target_hold, channel=event.channel)
+
+    def _on_stranger(self, event: StrangerEvent) -> None:
+        """A live node outside the view: re-admit unless it departed on
+        purpose (recovered members and healed partitions come back this
+        way; leavers and deliberate exclusions stay out)."""
+        member = event.member
+        if self.view is None or self.view.includes(member) or \
+                member in self.banned:
+            return
+        self.pending_joiners.add(member)
         if self._flush_coordinator() == self.local and \
                 self.phase is _Phase.STABLE:
             self._start_flush(hold=False, channel=event.channel)
@@ -255,6 +395,7 @@ class MembershipSession(GroupSession):
         """Core's entry point; only the acting coordinator initiates."""
         for member in event.exclude:
             self.suspected.add(member)
+            self._deliberate_excludes.add(member)
         if self.view is not None and \
                 self._flush_coordinator() == self.local and \
                 self.phase is _Phase.STABLE:
@@ -288,6 +429,10 @@ class MembershipSession(GroupSession):
         self._cut_acks = set()
         self._cut = None
         self._install_announced = False
+        # A new flush supersedes any post-install re-announcement (a
+        # joiner that missed the previous installation re-asks anyway).
+        self._announce_joiners = ()
+        self._announce_ticks = 0
         self._broadcast_flush_req(channel)
         self._arm_retry(channel)
 
@@ -301,6 +446,16 @@ class MembershipSession(GroupSession):
             dest=GROUP_DEST, source=self.local)
         self.send_down(req, channel=channel)
 
+    def _flush_participants(self) -> set[str]:
+        """Members whose flush acks are required: the current view's
+        survivors.  Joiners hold no traffic in the closing view — they are
+        outside the cut and receive the installation directly."""
+        assert self._target_view is not None
+        target = set(self._target_view.members)
+        if self.view is None:
+            return target
+        return set(self.view.members) & target
+
     def _on_flush_ack(self, payload: dict, channel) -> None:
         if self._answer_if_stale(payload, channel):
             return
@@ -308,8 +463,8 @@ class MembershipSession(GroupSession):
                 payload["new_view_id"] != self._target_view.view_id:
             return
         self._acks[payload["from"]] = payload
-        needed = set(self._target_view.members)
-        if needed.issubset(self._acks) and self._cut is None:
+        if self._flush_participants().issubset(self._acks) and \
+                self._cut is None:
             self._cut = self._compute_cut()
             self._broadcast_cut(channel)
 
@@ -340,26 +495,40 @@ class MembershipSession(GroupSession):
                 payload["new_view_id"] != self._target_view.view_id:
             return
         self._cut_acks.add(payload["from"])
-        if set(self._target_view.members).issubset(self._cut_acks) and \
+        if self._flush_participants().issubset(self._cut_acks) and \
                 not self._install_announced:
             self._install_announced = True
             self._broadcast_install(channel)
 
     def _broadcast_install(self, channel, unicast_to: Optional[str] = None) -> None:
         if self._target_view is not None:
+            old = set(self.view.members) if self.view is not None else set()
+            target = set(self._target_view.members)
+            departed = sorted(
+                (self.pending_leavers | self._deliberate_excludes) &
+                (old - target))
             payload = {"kind": "view_install",
                        "new_view_id": self._target_view.view_id,
                        "members": list(self._target_view.members),
+                       "joiners": sorted(target - old),
+                       "departed": departed,
                        "hold": self._target_hold, "from": self.local}
             self._last_install_payload = payload
         elif self._last_install_payload is not None:
             payload = dict(self._last_install_payload)
         else:
             return
-        dest = unicast_to if unicast_to is not None else GROUP_DEST
-        message = self.control_message(MembershipMessage, dict(payload),
-                                       dest=dest, source=self.local)
-        self.send_down(message, channel=channel)
+        if unicast_to is not None:
+            dests = [unicast_to]
+        else:
+            # Joiners are outside the old view that GROUP_DEST fans to;
+            # they get the installation by explicit unicast.
+            dests = [GROUP_DEST] + [joiner for joiner in payload["joiners"]
+                                    if joiner != self.local]
+        for dest in dests:
+            message = self.control_message(MembershipMessage, dict(payload),
+                                           dest=dest, source=self.local)
+            self.send_down(message, channel=channel)
 
     def _answer_if_stale(self, payload: dict, channel) -> bool:
         """Re-unicast the installation to members stuck in an old flush."""
@@ -396,6 +565,37 @@ class MembershipSession(GroupSession):
                     self._flush_coordinator() == self.local and \
                     self.phase is _Phase.STABLE:
                 self._start_flush(hold=False, channel=channel)
+        elif kind == "join_req":
+            self._on_join_request(payload["from"],
+                                  payload.get("coordinator"), channel)
+
+    def _on_join_request(self, member: str, their_coordinator: Optional[str],
+                         channel) -> None:
+        if self.view is None:
+            return
+        if their_coordinator is not None and not self.view.includes(member) \
+                and their_coordinator < self._flush_coordinator():
+            # The requester belongs to an established view whose coordinator
+            # outranks ours: the merge direction is theirs — our own probes
+            # will ask that side for admission instead (absorbing them here
+            # would let a stale high-numbered view swallow a healthy group).
+            return
+        if self.view.includes(member):
+            # Already admitted: the joiner lost the installation — repeat it.
+            payload = {"kind": "view_install",
+                       "new_view_id": self.view.view_id,
+                       "members": list(self.view.members),
+                       "joiners": [member], "departed": [],
+                       "hold": False, "from": self.local}
+            message = self.control_message(MembershipMessage, payload,
+                                           dest=member, source=self.local)
+            self.send_down(message, channel=channel)
+            return
+        self.banned.discard(member)  # an explicit request lifts any ban
+        self.pending_joiners.add(member)
+        if self._flush_coordinator() == self.local and \
+                self.phase is _Phase.STABLE:
+            self._start_flush(hold=False, channel=channel)
 
     def _member_flush_req(self, payload: dict, channel) -> None:
         if self.view is None or payload["new_view_id"] <= self.view.view_id:
@@ -467,15 +667,37 @@ class MembershipSession(GroupSession):
         if self.held_view is not None:
             watermark = max(watermark, self.held_view.view_id)
         if payload["new_view_id"] <= watermark:
-            return
+            # One exception to monotonicity: divergent histories.  A node
+            # excluded by suspicion (crash, partition) keeps numbering views
+            # on its own side and may burn past the other side's counter —
+            # so an install that *admits this node*, announced by someone
+            # outside its current view, is accepted even at a lower id, as
+            # long as it actually moves this node somewhere new (repeats of
+            # the same installation stay deduplicated).
+            proposed = View(self.group, payload["new_view_id"],
+                            tuple(payload["members"]))
+            announcer = payload.get("from")
+            readmission = (self.view is not None and
+                           self.local in payload.get("joiners", ()) and
+                           not self.view.includes(announcer) and
+                           proposed != self.view)
+            if not readmission:
+                return
         view = View(self.group, payload["new_view_id"],
                     tuple(payload["members"]))
-        self._install(view, hold=bool(payload["hold"]), channel=channel)
+        self._install(view, hold=bool(payload["hold"]), channel=channel,
+                      joiners=tuple(payload.get("joiners", ())),
+                      departed=tuple(payload.get("departed", ())),
+                      announcer=payload.get("from"))
 
     # -- installation -----------------------------------------------------------------------
 
     def _install(self, view: View, hold: bool, channel,
-                 immediate: bool = False) -> None:
+                 immediate: bool = False,
+                 joiners: tuple[str, ...] = (),
+                 departed: tuple[str, ...] = (),
+                 announcer: Optional[str] = None) -> None:
+        previous = set(self.view.members) if self.view is not None else set()
         self._target_view = None
         self._acks = {}
         self._cut_acks = set()
@@ -483,6 +705,34 @@ class MembershipSession(GroupSession):
         self._install_announced = False
         self._last_status = None
         self._install_wait_ticks = 0
+        if self.local in joiners:
+            # (Re-)admitted from outside: whatever this node suspected
+            # while isolated says nothing about the view it now trusts.
+            self.suspected.clear()
+            self.joining = False
+        self.banned.update(departed)
+        self.banned.difference_update(view.members)
+        self.pending_joiners -= set(view.members) | self.banned
+        self._deliberate_excludes -= set(view.members)
+        if joiners:
+            self.joins_admitted += len(joiners)
+        if announcer == self.local:
+            # This node announced the installation: keep re-unicasting it
+            # to the joiners for a few ticks (see _JOIN_ANNOUNCE_TICKS).
+            others = tuple(j for j in joiners if j != self.local)
+            if others:
+                self._announce_joiners = others
+                self._announce_ticks = _JOIN_ANNOUNCE_TICKS
+        # Track suspicion-based losses for the probing loop: deliberately
+        # departed members are not probed, members back in the view are no
+        # longer lost.
+        lost = previous - set(view.members) - set(departed) - self.banned
+        for peer in sorted(lost):
+            if peer != self.local:
+                self._lost_peers.setdefault(peer, _PROBE_BUDGET)
+        for peer in list(self._lost_peers):
+            if view.includes(peer) or peer in self.banned:
+                del self._lost_peers[peer]
         self.suspected &= set(view.members)
         self.pending_leavers &= set(view.members)
         self.flushes_completed += 1
@@ -507,14 +757,21 @@ class MembershipSession(GroupSession):
         # the new view/epoch *before* the view-synchrony layer above releases
         # any queued sends — the kernel dispatches FIFO, so this ordering
         # guarantees a released send is sequenced in the new epoch.
-        self.send_down(ViewEvent(view), channel=channel)
-        self.send_up(ViewEvent(view), channel=channel)
+        self.send_down(ViewEvent(view, joiners=tuple(joiners)),
+                       channel=channel)
+        self.send_up(ViewEvent(view, joiners=tuple(joiners)),
+                     channel=channel)
+        outstanding_joiners = self.pending_joiners - set(view.members)
         if self.local is not None and view.includes(self.local) and \
                 self._flush_coordinator() == self.local and \
-                (self.suspected or self.pending_leavers):
-            # More exclusions queued up during the flush: change again.
+                (self.suspected or self.pending_leavers or
+                 outstanding_joiners):
+            # More changes queued up during the flush: change again.
             self._start_flush(hold=False, channel=channel)
-        elif not (self.suspected or self.pending_leavers):
+        elif self._probing_lost_peers():
+            self._arm_retry(channel)
+        elif not (self.suspected or self.pending_leavers or
+                  self._announce_ticks > 0):
             self._stop_retry()
 
     def _release_quiescence(self, view: View, channel) -> None:
@@ -530,14 +787,15 @@ class MembershipLayer(Layer):
 
     Parameters: ``members`` (bootstrap CSV), ``group``, ``view_id``
     (bootstrap view identifier, used by reconfiguration to continue the
-    view sequence), ``retry_interval``.
+    view sequence), ``retry_interval``, ``join`` (joiner mode: solicit
+    admission from the bootstrap peers instead of self-installing).
     """
 
     layer_name = "membership"
     accepted_events = (MembershipMessage, SuspectEvent, UnsuspectEvent,
-                       TriggerViewChangeEvent, LeaveRequestEvent,
-                       FlushStatusEvent, CutReachedEvent, TimerEvent,
-                       ViewEvent)
+                       StrangerEvent, TriggerViewChangeEvent,
+                       LeaveRequestEvent, FlushStatusEvent, CutReachedEvent,
+                       TimerEvent, ViewEvent)
     provided_events = (MembershipMessage, ViewEvent, BlockEvent,
                        QuiescentEvent, FlushQueryEvent, FlushCutEvent)
     session_class = MembershipSession

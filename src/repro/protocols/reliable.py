@@ -86,6 +86,9 @@ class ReliableMulticastSession(GroupSession):
         self._advertised: dict[str, int] = {}
         #: Diagnostics for tests and the control-overhead ablation.
         self.duplicates_dropped = 0
+        #: Frames from a stack with different framing (generation skew
+        #: during reconfiguration) — dropped, recovered by retransmission.
+        self.foreign_dropped = 0
         self.nacks_sent = 0
         self.retransmissions_served = 0
         self.syncs_sent = 0
@@ -173,8 +176,17 @@ class ReliableMulticastSession(GroupSession):
 
     def _receive(self, event: SequencedEvent) -> None:
         channel = event.channel
-        tag, sender, seqno, epoch = event.message.pop_header()
-        assert tag == _HEADER_TAG, f"not a reliable frame: {tag!r}"
+        if not event.message.headers:
+            self.foreign_dropped += 1  # headerless frame (generation skew)
+            return
+        header = event.message.pop_header()
+        if not (isinstance(header, tuple) and len(header) == 4 and
+                header[0] == _HEADER_TAG):
+            # Differently-framed stack on the same port (members swap
+            # generations at slightly different instants): not ours.
+            self.foreign_dropped += 1
+            return
+        _tag, sender, seqno, epoch = header
         if epoch != self.epoch:
             self.duplicates_dropped += 1  # stale (or early) epoch artifact
             return

@@ -1,0 +1,29 @@
+"""Dynamic-topology scenarios: declarative schedules of context change.
+
+The subsystem that turns every static experiment into a family of dynamic
+ones: a :class:`Scenario` declares the topology (including mid-run
+joiners), a timed schedule of events — segment handoffs, churn, loss-model
+swaps, partitions — and the workload; the :class:`ScenarioRunner` executes
+it deterministically on the simulation timeline while the full Morpheus
+pipeline (Cocaditem dissemination → policy → flush → stack swap) adapts
+live.  :mod:`repro.scenarios.library` ships the canned scenarios.
+"""
+
+from repro.scenarios.library import (CANNED, canned, churn_storm,
+                                     commuter_handoff, degrading_channel_fec,
+                                     flash_crowd_join, partition_heal)
+from repro.scenarios.runner import (ScenarioResult, ScenarioRunner,
+                                    build_loss_model, run_scenario)
+from repro.scenarios.scenario import (ChatBurst, Crash, Handoff, Heal,
+                                      Leave, LinkSpec, NodeSpec, Partition,
+                                      Recover, Scenario, ScenarioEvent,
+                                      SetLoss, bernoulli, gilbert_elliott)
+
+__all__ = [
+    "CANNED", "canned", "churn_storm", "commuter_handoff",
+    "degrading_channel_fec", "flash_crowd_join", "partition_heal",
+    "ScenarioResult", "ScenarioRunner", "build_loss_model", "run_scenario",
+    "ChatBurst", "Crash", "Handoff", "Heal", "Leave", "LinkSpec",
+    "NodeSpec", "Partition", "Recover", "Scenario", "ScenarioEvent",
+    "SetLoss", "bernoulli", "gilbert_elliott",
+]

@@ -11,8 +11,8 @@ from repro.simnet.energy import Battery, EnergyParams
 from repro.simnet.engine import ScheduledCall, SimEngine
 from repro.simnet.loss import (BernoulliLoss, GilbertElliottLoss, LossModel,
                                NoLoss)
-from repro.simnet.network import (LinkParams, Network, default_wired,
-                                  default_wireless)
+from repro.simnet.network import (LinkParams, Network, TopologyChange,
+                                  default_wired, default_wireless)
 from repro.simnet.node import NodeKind, SimNode
 from repro.simnet.packet import (CONTROL, DATA, PACKET_OVERHEAD_BYTES, Packet)
 from repro.simnet.stats import NodeStats, aggregate
@@ -23,7 +23,8 @@ __all__ = [
     "Battery", "EnergyParams",
     "ScheduledCall", "SimEngine",
     "BernoulliLoss", "GilbertElliottLoss", "LossModel", "NoLoss",
-    "LinkParams", "Network", "default_wired", "default_wireless",
+    "LinkParams", "Network", "TopologyChange", "default_wired",
+    "default_wireless",
     "NodeKind", "SimNode",
     "CONTROL", "DATA", "PACKET_OVERHEAD_BYTES", "Packet",
     "NodeStats", "aggregate",

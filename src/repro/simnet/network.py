@@ -17,13 +17,23 @@ benefits from relaying through a fixed node.
 
 Failure injection: nodes can be crashed and the network can be partitioned
 into isolated groups, which the failure-detector and membership tests use.
+
+Runtime topology mutation: the topology is *not* fixed for a run's
+lifetime.  Nodes can hand off between segments (:meth:`Network.move_node`),
+join after t=0 (:meth:`Network.add_node` mid-run), depart permanently
+(:meth:`Network.remove_node`), and either segment's loss model can be
+swapped live (:meth:`Network.set_wireless_loss` /
+:meth:`Network.set_wired_loss`).  Every mutation bumps
+``Network.topology_epoch`` and notifies subscribed topology listeners with
+a :class:`TopologyChange` — the hook the context layer uses for
+event-driven (rather than purely periodic) adaptation.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.simnet.energy import Battery
 from repro.simnet.engine import SimEngine
@@ -57,6 +67,33 @@ def default_wireless(loss: Optional[LossModel] = None) -> LinkParams:
                       loss=loss if loss is not None else NoLoss())
 
 
+@dataclass(frozen=True)
+class TopologyChange:
+    """One runtime mutation of the network, as seen by topology listeners.
+
+    Attributes:
+        kind: what changed — ``"join"``, ``"move"``, ``"remove"``,
+            ``"crash"``, ``"recover"``, ``"loss"``, ``"partition"``,
+            ``"heal"``.
+        node_id: the affected node, or ``None`` for network-wide changes
+            (loss swaps, partitions).
+        detail: human-readable specifics (target segment, loss model, …).
+        epoch: value of :attr:`Network.topology_epoch` after the change.
+    """
+
+    kind: str
+    node_id: Optional[str]
+    detail: str
+    epoch: int
+
+    def format(self) -> str:
+        subject = self.node_id if self.node_id is not None else "*"
+        return f"{self.kind} {subject} {self.detail}".rstrip()
+
+
+TopologyListener = Callable[[TopologyChange], None]
+
+
 class Network:
     """Simulated hybrid network shared by every node of a run.
 
@@ -84,11 +121,16 @@ class Network:
         self.native_multicast_wired = native_multicast_wired
         self.wireless_broadcast = wireless_broadcast
         self.nodes: dict[str, SimNode] = {}
+        #: Nodes that left for good (stats retained for reporting).
+        self.departed: dict[str, SimNode] = {}
         self._partitions: Optional[list[set[str]]] = None
-        #: Packets lost to link loss models.
+        #: Packets lost to link loss models, partitions, or dead receivers.
         self.lost_packets = 0
         #: Packets delivered to a node's NIC.
         self.delivered_packets = 0
+        #: Bumped on every runtime topology mutation.
+        self.topology_epoch = 0
+        self._topology_listeners: list[TopologyListener] = []
 
     # -- topology -----------------------------------------------------------
 
@@ -99,12 +141,13 @@ class Network:
         Mobile nodes get a default battery when none is supplied, so energy
         accounting is always meaningful.
         """
-        if node_id in self.nodes:
+        if node_id in self.nodes or node_id in self.departed:
             raise ValueError(f"duplicate node id {node_id!r}")
         if kind is NodeKind.MOBILE and battery is None:
             battery = Battery()
         node = SimNode(node_id, kind, self, battery=battery)
         self.nodes[node_id] = node
+        self._notify("join", node_id, f"as {kind.value}")
         return node
 
     def add_fixed_node(self, node_id: str) -> SimNode:
@@ -119,6 +162,72 @@ class Network:
     def node(self, node_id: str) -> SimNode:
         """Look up a node by id."""
         return self.nodes[node_id]
+
+    # -- runtime topology mutation ------------------------------------------
+
+    def subscribe_topology(self, listener: TopologyListener) -> None:
+        """Register ``listener`` for :class:`TopologyChange` notifications.
+
+        Listeners fire synchronously, in subscription order, from within
+        the mutating call — deterministic, like everything else here.
+        """
+        self._topology_listeners.append(listener)
+
+    def unsubscribe_topology(self, listener: TopologyListener) -> None:
+        """Remove a previously subscribed listener (unknown ones ignored)."""
+        if listener in self._topology_listeners:
+            self._topology_listeners.remove(listener)
+
+    def _notify(self, kind: str, node_id: Optional[str],
+                detail: str = "") -> None:
+        self.topology_epoch += 1
+        change = TopologyChange(kind, node_id, detail, self.topology_epoch)
+        for listener in list(self._topology_listeners):
+            listener(change)
+
+    def move_node(self, node_id: str, kind: NodeKind) -> SimNode:
+        """Hand a node off to the other segment (FIXED ↔ MOBILE).
+
+        Models a device leaving the office LAN for the wireless cell (or
+        docking back): routing, native-multicast legality and every context
+        retriever observe the new segment immediately.  A device moving to
+        the wireless cell gets a default battery if it never had one; moving
+        to the wire means mains power — the battery object is kept (its
+        charge state survives a round trip) but stops draining and stops
+        mattering for liveness while docked.
+        """
+        node = self.nodes[node_id]
+        if node.kind is kind:
+            return node
+        node.kind = kind
+        if kind is NodeKind.MOBILE and node.battery is None:
+            node.battery = Battery()
+        self._notify("move", node_id, f"to {kind.value}")
+        return node
+
+    def remove_node(self, node_id: str) -> None:
+        """Permanently remove a node (graceful departure or decommission).
+
+        The node stops sending and receiving; packets in flight towards it
+        are lost.  Its traffic counters remain queryable through
+        :meth:`stats_of` / :meth:`total_stats` so experiment accounting
+        still covers its lifetime.
+        """
+        node = self.nodes.pop(node_id)
+        node.crashed = True
+        self.departed[node_id] = node
+        self._notify("remove", node_id)
+
+    def set_wireless_loss(self, loss: LossModel) -> None:
+        """Swap the wireless cell's loss model live (interference onset,
+        channel recovery, …)."""
+        self.wireless.loss = loss
+        self._notify("loss", None, f"wireless {loss!r}")
+
+    def set_wired_loss(self, loss: LossModel) -> None:
+        """Swap the LAN segment's loss model live."""
+        self.wired.loss = loss
+        self._notify("loss", None, f"wired {loss!r}")
 
     def node_ids(self) -> list[str]:
         """All node ids, sorted (deterministic iteration everywhere)."""
@@ -137,18 +246,24 @@ class Network:
     def crash_node(self, node_id: str) -> None:
         """Silently stop a node: it neither sends nor receives anything."""
         self.nodes[node_id].crashed = True
+        self._notify("crash", node_id)
 
     def recover_node(self, node_id: str) -> None:
         """Undo :meth:`crash_node`."""
         self.nodes[node_id].crashed = False
+        self._notify("recover", node_id)
 
     def partition(self, *groups: Iterable[str]) -> None:
         """Split the network; only nodes in the same group communicate."""
         self._partitions = [set(group) for group in groups]
+        rendered = " | ".join(
+            ",".join(sorted(group)) for group in self._partitions)
+        self._notify("partition", None, rendered)
 
     def heal_partition(self) -> None:
         """Remove any partition."""
         self._partitions = None
+        self._notify("heal", None)
 
     def _reachable(self, src: str, dst: str) -> bool:
         if self._partitions is None:
@@ -173,7 +288,7 @@ class Network:
             return
         packet.sent_at = self.engine.now()
         sender.stats.record_sent(packet)
-        if sender.battery is not None:
+        if sender.is_mobile and sender.battery is not None:
             sender.battery.consume_tx(packet.size_bytes, self.engine.now())
         if packet.is_multicast:
             self._check_multicast_legal(sender, packet)
@@ -185,6 +300,12 @@ class Network:
             self._route_one(sender, packet, packet.dst)
 
     def _check_multicast_legal(self, sender: SimNode, packet: Packet) -> None:
+        receivers = [d for d in packet.dst if d != sender.node_id]
+        if not receivers:
+            raise ValueError(
+                f"native multicast from {sender.node_id} has no receivers "
+                f"(dst={packet.dst!r}); an empty fan-out is a protocol "
+                "configuration bug")
         dst_nodes = [self.nodes[d] for d in packet.dst if d in self.nodes]
         all_fixed = sender.is_fixed and all(n.is_fixed for n in dst_nodes)
         all_mobile = sender.is_mobile and all(n.is_mobile for n in dst_nodes)
@@ -226,31 +347,39 @@ class Network:
         return [self.wireless, self.wireless]  # mobile→AP→mobile
 
     def _deliver(self, dst: SimNode, packet: Packet) -> None:
-        if not dst.alive:
-            dst.stats.record_dropped()
-            return
-        if not self._reachable(packet.src, dst.node_id):
+        # Unified mid-flight drop accounting: whether the packet dies
+        # because the destination crashed while it was in the air or
+        # because a partition was declared under it, it is one network-level
+        # loss (``lost_packets``) *and* one drop charged to the receiver
+        # (``dropped_packets``) — the two failure modes are
+        # indistinguishable to every other observer and must count alike.
+        if not dst.alive or not self._reachable(packet.src, dst.node_id):
             self.lost_packets += 1
+            dst.stats.record_dropped()
             return
         self.delivered_packets += 1
         dst.stats.record_received(packet)
-        if dst.battery is not None:
+        if dst.is_mobile and dst.battery is not None:
             dst.battery.consume_rx(packet.size_bytes, self.engine.now())
         dst._on_packet(packet)
 
     # -- reporting ---------------------------------------------------------------
 
     def stats_of(self, node_id: str) -> NodeStats:
-        """Traffic counters of one node."""
-        return self.nodes[node_id].stats
+        """Traffic counters of one node (departed nodes included)."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            node = self.departed[node_id]
+        return node.stats
 
     def total_stats(self) -> dict:
-        """Aggregated counters across all nodes."""
-        return aggregate([node.stats for node in self.nodes.values()])
+        """Aggregated counters across all nodes, departed ones included."""
+        everyone = list(self.nodes.values()) + list(self.departed.values())
+        return aggregate([node.stats for node in everyone])
 
     def reset_stats(self) -> None:
         """Zero all node counters (between experiment phases)."""
-        for node in self.nodes.values():
+        for node in list(self.nodes.values()) + list(self.departed.values()):
             node.stats.reset()
         self.lost_packets = 0
         self.delivered_packets = 0

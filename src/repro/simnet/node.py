@@ -68,10 +68,18 @@ class SimNode:
 
     @property
     def alive(self) -> bool:
-        """False once crashed or (for mobile nodes) battery-depleted."""
+        """False once crashed or (while on the wireless segment)
+        battery-depleted.
+
+        Battery state only gates liveness for mobile nodes: a device that
+        handed off to the wired segment (see
+        :meth:`~repro.simnet.network.Network.move_node`) is mains-powered,
+        so a drained battery does not stop it.
+        """
         if self.crashed:
             return False
-        if self.battery is not None and not self.battery.alive:
+        if self.is_mobile and self.battery is not None \
+                and not self.battery.alive:
             return False
         return True
 

@@ -81,10 +81,13 @@ def build_group_stack(network: Network, node_id: str,
                       heartbeat_interval: float = 0.5,
                       nack_interval: float = 0.1,
                       ordering: Sequence[str] = (),
-                      channel_name: str = "data"):
+                      channel_name: str = "data",
+                      join: bool = False):
     """Compose the full suite on one node; returns the channel.
 
-    ``ordering`` may contain ``"causal"`` and/or ``"total"``.
+    ``ordering`` may contain ``"causal"`` and/or ``"total"``.  With
+    ``join=True`` the node solicits admission from ``members`` instead of
+    self-installing a bootstrap view.
     """
     node = network.node(node_id)
     members_csv = ",".join(sorted(members))
@@ -98,7 +101,7 @@ def build_group_stack(network: Network, node_id: str,
         ReliableMulticastLayer(members=members_csv,
                                nack_interval=nack_interval),
         HeartbeatLayer(members=members_csv, interval=heartbeat_interval),
-        MembershipLayer(members=members_csv, retry_interval=0.3),
+        MembershipLayer(members=members_csv, retry_interval=0.3, join=join),
         ViewSyncLayer(),
     ]
     if "causal" in ordering:

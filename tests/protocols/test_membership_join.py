@@ -1,0 +1,144 @@
+"""Dynamic membership growth: joins, re-admission, merges and bans."""
+
+from __future__ import annotations
+
+from repro.kernel import Direction
+from repro.protocols import LeaveRequestEvent, TriggerViewChangeEvent
+from tests.protocols.helpers import (build_group_stack, build_world,
+                                     collector_of, membership_of)
+
+
+class TestJoin:
+    def test_joiner_admitted_into_running_group(self):
+        engine, network, channels = build_world({"a": "fixed", "b": "fixed"})
+        engine.run_until(2.0)
+        network.add_fixed_node("c")
+        channels["c"] = build_group_stack(network, "c", ("a", "b", "c"),
+                                          join=True)
+        engine.run_until(10.0)
+        for node_id, channel in channels.items():
+            assert collector_of(channel).view.members == ("a", "b", "c"), \
+                node_id
+
+    def test_joiner_talks_both_ways_after_admission(self):
+        engine, network, channels = build_world({"a": "fixed", "b": "fixed"})
+        engine.run_until(2.0)
+        network.add_fixed_node("c")
+        channels["c"] = build_group_stack(network, "c", ("a", "b", "c"),
+                                          join=True)
+        engine.run_until(10.0)
+        collector_of(channels["c"]).send_text("from-joiner")
+        collector_of(channels["a"]).send_text("to-joiner")
+        engine.run_until(15.0)
+        assert "from-joiner" in collector_of(channels["a"]).payloads()
+        assert "to-joiner" in collector_of(channels["c"]).payloads()
+
+    def test_join_under_wireless_loss(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "mobile"}, wireless_loss=0.15, seed=9)
+        engine.run_until(2.0)
+        network.add_mobile_node("c")
+        channels["c"] = build_group_stack(network, "c", ("a", "b", "c"),
+                                          join=True)
+        engine.run_until(30.0)
+        assert collector_of(channels["c"]).view is not None
+        assert collector_of(channels["c"]).view.members == ("a", "b", "c")
+
+
+class TestReadmission:
+    def test_recovered_member_rejoins(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(1.0)
+        network.crash_node("c")
+        engine.run_until(10.0)
+        assert collector_of(channels["a"]).view.members == ("a", "b")
+        network.recover_node("c")
+        engine.run_until(25.0)
+        for node_id, channel in channels.items():
+            assert collector_of(channel).view.members == ("a", "b", "c"), \
+                node_id
+        collector_of(channels["a"]).send_text("welcome-back")
+        engine.run_until(30.0)
+        assert "welcome-back" in collector_of(channels["c"]).payloads()
+
+    def test_double_crash_does_not_wedge_the_flush(self):
+        engine, network, channels = build_world(
+            {name: "fixed" for name in "abcd"})
+        engine.run_until(1.0)
+        network.crash_node("c")
+        network.crash_node("d")
+        engine.run_until(15.0)
+        assert collector_of(channels["a"]).view.members == ("a", "b")
+        collector_of(channels["a"]).send_text("still-alive")
+        engine.run_until(20.0)
+        assert "still-alive" in collector_of(channels["b"]).payloads()
+
+    def test_merge_keeps_the_lower_coordinator_side(self):
+        """A recovered singleton's privately-advanced view numbering must
+        not absorb the healthy group — the side whose coordinator has the
+        lowest id drives the merge."""
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(1.0)
+        network.crash_node("c")
+        engine.run_until(12.0)  # c churns through view ids on its own
+        network.recover_node("c")
+        engine.run_until(30.0)
+        view = collector_of(channels["a"]).view
+        assert view.members == ("a", "b", "c")
+        assert view.coordinator == "a"
+
+
+class TestPartitionMerge:
+    def test_sides_probe_and_merge_after_heal(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "mobile", "d": "mobile"})
+        engine.run_until(1.0)
+        network.partition({"a", "b"}, {"c", "d"})
+        engine.run_until(15.0)
+        assert collector_of(channels["a"]).view.members == ("a", "b")
+        assert collector_of(channels["c"]).view.members == ("c", "d")
+        network.heal_partition()
+        engine.run_until(40.0)
+        for node_id, channel in channels.items():
+            assert collector_of(channel).view.members == \
+                ("a", "b", "c", "d"), node_id
+        collector_of(channels["a"]).send_text("merged")
+        engine.run_until(45.0)
+        assert "merged" in collector_of(channels["d"]).payloads()
+
+
+class TestDeliberateDepartures:
+    def test_leaver_is_banned_from_stranger_readmission(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(1.0)
+        channels["c"].insert(LeaveRequestEvent(), Direction.DOWN)
+        engine.run_until(20.0)  # c's stack keeps beaconing the whole time
+        assert collector_of(channels["a"]).view.members == ("a", "b")
+        assert "c" in membership_of(channels["a"]).banned
+
+    def test_explicit_exclusion_is_not_readmitted(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(1.0)
+        channels["a"].insert(TriggerViewChangeEvent(exclude=("c",)),
+                             Direction.DOWN)
+        engine.run_until(20.0)
+        assert collector_of(channels["a"]).view.members == ("a", "b")
+
+    def test_explicit_join_request_lifts_the_ban(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(1.0)
+        channels["c"].insert(LeaveRequestEvent(), Direction.DOWN)
+        engine.run_until(10.0)
+        assert "c" in membership_of(channels["a"]).banned
+        # A deliberate re-join: c comes back with a fresh joiner stack.
+        channels["c"].close()
+        channels["c"] = build_group_stack(network, "c", ("a", "b", "c"),
+                                          join=True)
+        engine.run_until(25.0)
+        assert collector_of(channels["a"]).view.members == ("a", "b", "c")
+        assert "c" not in membership_of(channels["a"]).banned

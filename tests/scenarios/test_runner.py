@@ -1,0 +1,128 @@
+"""Scenario runner: live adaptation under dynamic topology.
+
+The acceptance test of the subsystem is here: a canned handoff scenario
+demonstrably triggers a live Morpheus reconfiguration mid-run (the data
+stack before the handoff differs from the one after), and a replay with
+the same seed reproduces the run exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (CANNED, canned, churn_storm, commuter_handoff,
+                             degrading_channel_fec, flash_crowd_join,
+                             partition_heal, run_scenario)
+
+
+@pytest.mark.tier1
+class TestCommuterHandoff:
+    def test_handoff_triggers_live_reconfiguration(self):
+        result = run_scenario(commuter_handoff(), seed=5)
+        stacks = result.stacks_of("commuter")
+        # Before the handoff: the plain (beb) stack.  After: Mecho.  After
+        # docking back: plain again — two live switches, no restart.
+        assert len(stacks) == 3
+        before, during, after = stacks
+        assert before != during, "handoff must change the live stack"
+        assert "mecho" in during and "mecho" not in before
+        assert after == before
+        assert result.reconfiguration_count() == 2
+
+    def test_no_message_lost_across_switches(self):
+        result = run_scenario(commuter_handoff(), seed=5)
+        expected = tuple(f"m-{i}" for i in range(100))
+        for node_id, texts in result.texts.items():
+            assert texts == expected, node_id
+
+    def test_same_seed_replays_identically(self):
+        first = run_scenario(commuter_handoff(), seed=5)
+        second = run_scenario(commuter_handoff(), seed=5)
+        assert first == second
+        assert first.trace == second.trace
+
+    def test_trace_records_moves_and_reconfigurations(self):
+        result = run_scenario(commuter_handoff(), seed=5)
+        assert any("move commuter to mobile" in line
+                   for line in result.trace)
+        assert any("reconfigured to hybrid" in line
+                   for line in result.trace)
+
+
+class TestFlashCrowdJoin:
+    def test_every_wave_admitted_and_deployed(self):
+        result = run_scenario(flash_crowd_join(), seed=5)
+        everyone = ("fixed-0", "fixed-1", "mobile-0", "mobile-1", "mobile-2")
+        for node_id, view in result.control_views.items():
+            assert view == everyone, node_id
+        # Each admitted wave costs (at least) one redeployment.
+        assert result.reconfiguration_count() >= 3
+        assert result.deployed["mobile-2"].startswith("hybrid")
+
+    def test_joiners_receive_post_join_traffic(self):
+        result = run_scenario(flash_crowd_join(), seed=5)
+        full = result.texts["fixed-1"]
+        assert len(full) == 100
+        for joiner in ("mobile-0", "mobile-1", "mobile-2"):
+            texts = result.texts[joiner]
+            assert texts, f"{joiner} never delivered anything"
+            # View synchrony: a joiner's deliveries are a contiguous tail.
+            assert texts == full[-len(texts):], joiner
+
+
+class TestChurnStorm:
+    def test_survivors_agree_end_to_end(self):
+        result = run_scenario(churn_storm(), seed=5)
+        assert result.texts["fixed-0"] == result.texts["mobile-0"]
+        assert len(result.texts["fixed-0"]) == 120
+
+    def test_recovered_member_rejoined(self):
+        result = run_scenario(churn_storm(), seed=5)
+        assert "mobile-1" in result.control_views["fixed-0"]
+
+    def test_leaver_and_dead_member_stay_out(self):
+        result = run_scenario(churn_storm(), seed=5)
+        survivors = result.control_views["fixed-0"]
+        assert "fixed-1" not in survivors   # left gracefully
+        assert "mobile-2" not in survivors  # crashed, never recovered
+
+
+class TestDegradingChannel:
+    def test_fec_crossover_and_back(self):
+        result = run_scenario(degrading_channel_fec(), seed=5)
+        stacks = result.stacks_of("mobile-0")
+        assert any("fec" in stack for stack in stacks), \
+            "degraded channel must deploy the FEC stack"
+        assert "fec" not in stacks[-1], \
+            "cleared channel must restore the ARQ stack"
+        assert len(result.texts["fixed-0"]) == 200
+
+
+class TestPartitionHeal:
+    def test_sides_merge_after_heal(self):
+        result = run_scenario(partition_heal(), seed=5)
+        everyone = ("fixed-0", "fixed-1", "mobile-0", "mobile-1")
+        for node_id, view in result.control_views.items():
+            assert view == everyone, node_id
+
+    def test_post_merge_traffic_reaches_far_side(self):
+        result = run_scenario(partition_heal(), seed=5)
+        full = result.texts["fixed-0"]
+        assert len(full) == 130
+        # The mobiles missed the partition window but share the tail.
+        tail = result.texts["mobile-0"]
+        assert tail and tail[-20:] == full[-20:]
+
+
+@pytest.mark.slow
+class TestFullSweep:
+    """Long multi-seed sweep across every canned scenario (excluded from
+    the tier-1 gate by the ``slow`` marker; run with ``-m slow``)."""
+
+    @pytest.mark.parametrize("name", sorted(CANNED))
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_scenario_completes_and_replays(self, name, seed):
+        first = run_scenario(canned(name), seed=seed)
+        second = run_scenario(canned(name), seed=seed)
+        assert first == second
+        assert first.reconfiguration_count() >= 1

@@ -1,0 +1,123 @@
+"""Declarative scenario model: structure, validation, canned registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (CANNED, ChatBurst, Crash, Handoff, LinkSpec,
+                             NodeSpec, Partition, Scenario, SetLoss,
+                             bernoulli, canned, gilbert_elliott)
+
+
+def minimal(**overrides) -> Scenario:
+    fields = dict(
+        name="t", duration_s=10.0,
+        nodes=(NodeSpec("a", "fixed"), NodeSpec("b", "mobile")))
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestValidation:
+    def test_minimal_scenario_validates(self):
+        minimal().validate()
+
+    def test_duplicate_node_ids_rejected(self):
+        scenario = minimal(nodes=(NodeSpec("a"), NodeSpec("a")))
+        with pytest.raises(ValueError, match="duplicate node id"):
+            scenario.validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            minimal(nodes=(NodeSpec("a", "laptop"),)).validate()
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            minimal(policy="telepathy").validate()
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            minimal(duration_s=0.0).validate()
+
+    def test_all_joiners_rejected(self):
+        scenario = minimal(nodes=(NodeSpec("a", join_at=1.0),))
+        with pytest.raises(ValueError, match="t=0 node"):
+            scenario.validate()
+
+    def test_join_time_outside_run_rejected(self):
+        scenario = minimal(nodes=(NodeSpec("a"),
+                                  NodeSpec("b", join_at=10.0)))
+        with pytest.raises(ValueError, match="join_at"):
+            scenario.validate()
+
+    def test_event_with_unknown_node_rejected(self):
+        scenario = minimal(events=(Crash(1.0, node="ghost"),))
+        with pytest.raises(ValueError, match="unknown node"):
+            scenario.validate()
+
+    def test_event_outside_run_rejected(self):
+        scenario = minimal(events=(Crash(99.0, node="a"),))
+        with pytest.raises(ValueError, match="outside"):
+            scenario.validate()
+
+    def test_bad_handoff_target_rejected(self):
+        scenario = minimal(events=(Handoff(1.0, node="a", to="airborne"),))
+        with pytest.raises(ValueError, match="handoff target"):
+            scenario.validate()
+
+    def test_unknown_loss_model_rejected(self):
+        scenario = minimal(
+            events=(SetLoss(1.0, segment="wireless",
+                            link=LinkSpec("quantum")),))
+        with pytest.raises(ValueError, match="loss model"):
+            scenario.validate()
+
+    def test_single_group_partition_rejected(self):
+        scenario = minimal(events=(Partition(1.0, groups=(("a", "b"),)),))
+        with pytest.raises(ValueError, match="2 groups"):
+            scenario.validate()
+
+    def test_partition_with_unknown_member_rejected(self):
+        scenario = minimal(
+            events=(Partition(1.0, groups=(("a",), ("ghost",))),))
+        with pytest.raises(ValueError, match="unknown node"):
+            scenario.validate()
+
+    def test_workload_with_unknown_sender_rejected(self):
+        scenario = minimal(workload=(ChatBurst(start=1.0, sender="ghost"),))
+        with pytest.raises(ValueError, match="sender"):
+            scenario.validate()
+
+
+class TestStructureQueries:
+    def test_initial_members_excludes_joiners(self):
+        scenario = minimal(nodes=(NodeSpec("b"), NodeSpec("a"),
+                                  NodeSpec("late", join_at=2.0)))
+        assert scenario.initial_members() == ("a", "b")
+        assert [spec.node_id for spec in scenario.joiners()] == ["late"]
+
+    def test_joiners_ordered_by_time(self):
+        scenario = minimal(nodes=(NodeSpec("a"),
+                                  NodeSpec("z", join_at=1.0),
+                                  NodeSpec("b", join_at=3.0)))
+        assert [spec.node_id for spec in scenario.joiners()] == ["z", "b"]
+
+    def test_link_shorthands(self):
+        assert bernoulli(0.2).as_dict() == {"probability": 0.2}
+        spec = gilbert_elliott(p_good=0.01, p_bad=0.4)
+        assert spec.model == "gilbert_elliott"
+        assert spec.as_dict() == {"p_good": 0.01, "p_bad": 0.4}
+
+
+class TestCannedRegistry:
+    @pytest.mark.parametrize("name", sorted(CANNED))
+    def test_canned_scenarios_validate(self, name):
+        canned(name).validate()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown canned scenario"):
+            canned("does_not_exist")
+
+    def test_overrides_reach_builder(self):
+        scenario = canned("commuter_handoff", messages=5, duration_s=30.0)
+        assert scenario.duration_s == 30.0
+        assert scenario.workload[0].count == 5

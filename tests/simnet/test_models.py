@@ -60,6 +60,58 @@ class TestLossModels:
         assert run(3) != run(4)
 
 
+class TestLossModelProperties:
+    """Property-based guarantees the adaptation policies lean on."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           sizes=st.lists(st.integers(min_value=0, max_value=65536),
+                          min_size=1, max_size=200))
+    def test_zero_probability_bernoulli_never_loses(self, seed, sizes):
+        model = BernoulliLoss(0.0, random.Random(seed))
+        assert not any(model.is_lost(size) for size in sizes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=65536),
+                          min_size=1, max_size=200))
+    def test_no_loss_never_loses(self, sizes):
+        model = NoLoss()
+        assert not any(model.is_lost(size) for size in sizes)
+
+    @pytest.mark.parametrize("seed", [1, 7, 42, 1234])
+    def test_gilbert_elliott_converges_to_stationary_rate(self, seed):
+        """The empirical loss rate converges to the chain's stationary
+        distribution: with the per-packet transition matrix, the fraction
+        of draws made in the bad state tends to g2b/(g2b + b2g), and the
+        loss rate to the state-weighted mixture of p_good and p_bad."""
+        p_good, p_bad = 0.01, 0.4
+        g2b, b2g = 0.05, 0.2
+        pi_bad = g2b / (g2b + b2g)
+        expected = (1.0 - pi_bad) * p_good + pi_bad * p_bad
+        model = GilbertElliottLoss(random.Random(seed), p_good=p_good,
+                                   p_bad=p_bad, p_good_to_bad=g2b,
+                                   p_bad_to_good=b2g)
+        draws = 60_000
+        losses = sum(model.is_lost(100) for _ in range(draws))
+        empirical = losses / draws
+        assert abs(empirical - expected) < 0.15 * expected, \
+            f"empirical {empirical:.4f} vs stationary {expected:.4f}"
+
+    @pytest.mark.parametrize("seed", [3, 9])
+    def test_gilbert_elliott_extreme_chains_degenerate_correctly(self, seed):
+        """A chain pinned in one state reduces to Bernoulli of that
+        state's probability."""
+        pinned_good = GilbertElliottLoss(random.Random(seed), p_good=0.0,
+                                         p_bad=1.0, p_good_to_bad=0.0,
+                                         p_bad_to_good=1.0)
+        assert not any(pinned_good.is_lost(10) for _ in range(2000))
+        pinned_bad = GilbertElliottLoss(random.Random(seed), p_good=0.0,
+                                        p_bad=1.0, p_good_to_bad=1.0,
+                                        p_bad_to_good=0.0)
+        pinned_bad.is_lost(10)  # first draw may still be in the good state
+        assert all(pinned_bad.is_lost(10) for _ in range(2000))
+
+
 class TestBattery:
     def test_transmission_costs_scale_with_size(self):
         small = Battery(capacity_mj=1000.0)

@@ -8,7 +8,8 @@ import pytest
 
 from repro.kernel import Message, SendableEvent
 from repro.simnet import (Battery, BernoulliLoss, LinkParams, Network,
-                          NodeKind, NoLoss, Packet, SimEngine)
+                          NodeKind, NoLoss, Packet, SimEngine,
+                          TopologyChange)
 
 
 def make_packet(src: str, dst, payload=b"x" * 100, port="data",
@@ -116,6 +117,45 @@ class TestNativeMulticast:
             hybrid.node("mobile-0").send(
                 make_packet("mobile-0", ("fixed-0", "mobile-1")))
 
+    def test_empty_destination_tuple_rejected(self, engine):
+        network = Network(engine, native_multicast_wired=True)
+        network.add_fixed_node("a")
+        with pytest.raises(ValueError, match="no receivers"):
+            network.node("a").send(make_packet("a", ()))
+
+    def test_sender_alone_in_own_destination_tuple_rejected(self, engine):
+        """Self-only multicast is an empty fan-out, same as ``()``."""
+        network = Network(engine, native_multicast_wired=True)
+        network.add_fixed_node("a")
+        with pytest.raises(ValueError, match="no receivers"):
+            network.node("a").send(make_packet("a", ("a",)))
+
+    def test_sender_in_destination_tuple_excluded_from_fanout(self, engine):
+        """A sender listed in its own dst tuple is legal — the loopback is
+        the upper layers' business, the NIC only reaches the others."""
+        network = Network(engine, native_multicast_wired=True)
+        for name in ("a", "b", "c"):
+            network.add_fixed_node(name)
+        received = []
+        network.node("b").bind_port("data", received.append)
+        network.node("c").bind_port("data", received.append)
+        network.node("a").send(make_packet("a", ("a", "b", "c")))
+        engine.run_until_idle()
+        assert len(received) == 2
+        assert network.stats_of("a").recv_total == 0
+        assert network.stats_of("a").sent_total == 1
+
+    def test_mixed_fixed_mobile_destinations_rejected(self, engine):
+        """Mixed-segment multicast is illegal even with both native
+        mechanisms enabled: nothing spans the access point."""
+        network = Network(engine, native_multicast_wired=True,
+                          wireless_broadcast=True)
+        network.add_fixed_node("f")
+        network.add_mobile_node("m")
+        network.add_fixed_node("src")
+        with pytest.raises(ValueError, match="native multicast"):
+            network.node("src").send(make_packet("src", ("f", "m")))
+
     def test_wired_multicast_disabled_by_default(self, engine):
         network = Network(engine)
         network.add_fixed_node("a")
@@ -220,6 +260,140 @@ class TestFailureInjection:
         hybrid.node("mobile-0").send(make_packet("mobile-0", "fixed-0"))
         engine.run_until_idle()
         assert len(received) == 1
+
+
+class TestRuntimeTopologyMutation:
+    def test_move_node_changes_segment_and_routing(self, hybrid, engine):
+        delivered_at = {}
+        hybrid.node("fixed-0").bind_port(
+            "data", lambda pkt: delivered_at.setdefault("t", engine.now()))
+        hybrid.move_node("mobile-0", NodeKind.FIXED)
+        assert hybrid.node("mobile-0").is_fixed
+        assert hybrid.fixed_ids() == ["fixed-0", "mobile-0"]
+        hybrid.node("mobile-0").send(make_packet("mobile-0", "fixed-0"))
+        engine.run_until_idle()
+        # Wired-only path now: one 0.5 ms hop, not wireless + wired.
+        assert delivered_at["t"] < 0.002
+
+    def test_move_to_mobile_gets_default_battery(self, hybrid):
+        assert hybrid.node("fixed-0").battery is None
+        hybrid.move_node("fixed-0", NodeKind.MOBILE)
+        assert hybrid.node("fixed-0").battery is not None
+
+    def test_docked_node_ignores_depleted_battery(self, engine):
+        network = Network(engine)
+        network.add_mobile_node("m0", battery=Battery(capacity_mj=0.5))
+        network.node("m0").battery.consume_tx(10_000, now=0.0)
+        assert not network.node("m0").alive
+        network.move_node("m0", NodeKind.FIXED)
+        assert network.node("m0").alive  # mains-powered on the wire
+
+    def test_move_is_idempotent_and_cheap(self, hybrid):
+        epoch = hybrid.topology_epoch
+        hybrid.move_node("fixed-0", NodeKind.FIXED)  # already fixed
+        assert hybrid.topology_epoch == epoch
+
+    def test_remove_node_keeps_stats_and_loses_traffic(self, hybrid, engine):
+        hybrid.node("fixed-0").bind_port("data", lambda pkt: None)
+        hybrid.node("mobile-0").send(make_packet("mobile-0", "fixed-0"))
+        engine.run_until_idle()
+        hybrid.remove_node("mobile-0")
+        assert hybrid.node_ids() == ["fixed-0", "mobile-1"]
+        assert hybrid.stats_of("mobile-0").sent_total == 1  # retained
+        hybrid.node("fixed-0").send(make_packet("fixed-0", "mobile-0"))
+        engine.run_until_idle()
+        assert hybrid.lost_packets == 1
+        with pytest.raises(ValueError):
+            hybrid.add_fixed_node("mobile-0")  # the id stays burned
+
+    def test_loss_model_swap_is_live(self, engine):
+        network = Network(engine)
+        network.add_mobile_node("m0")
+        network.add_fixed_node("f0")
+        received = []
+        network.node("f0").bind_port("data", received.append)
+        network.set_wireless_loss(BernoulliLoss(1.0, random.Random(1)))
+        network.node("m0").send(make_packet("m0", "f0"))
+        engine.run_until_idle()
+        assert received == []
+        network.set_wireless_loss(NoLoss())
+        network.node("m0").send(make_packet("m0", "f0"))
+        engine.run_until_idle()
+        assert len(received) == 1
+
+    def test_topology_listeners_observe_every_mutation(self, hybrid):
+        changes: list[TopologyChange] = []
+        hybrid.subscribe_topology(changes.append)
+        hybrid.move_node("mobile-0", NodeKind.FIXED)
+        hybrid.crash_node("mobile-1")
+        hybrid.recover_node("mobile-1")
+        hybrid.set_wireless_loss(NoLoss())
+        hybrid.partition({"fixed-0"}, {"mobile-0", "mobile-1"})
+        hybrid.heal_partition()
+        hybrid.remove_node("mobile-1")
+        kinds = [change.kind for change in changes]
+        assert kinds == ["move", "crash", "recover", "loss", "partition",
+                         "heal", "remove"]
+        epochs = [change.epoch for change in changes]
+        assert epochs == sorted(epochs) and len(set(epochs)) == len(epochs)
+
+    def test_unsubscribed_listener_stops_observing(self, hybrid):
+        changes = []
+        hybrid.subscribe_topology(changes.append)
+        hybrid.crash_node("mobile-0")
+        hybrid.unsubscribe_topology(changes.append)
+        hybrid.recover_node("mobile-0")
+        assert len(changes) == 1
+
+
+class TestMidFlightDropAccounting:
+    """Crash-vs-partition drops mid-flight count identically: one network
+    loss plus one receiver-side drop, whichever way the packet died."""
+
+    def _send_and(self, engine, network, mutate):
+        received = []
+        network.node("f0").bind_port("data", received.append)
+        network.node("m0").send(make_packet("m0", "f0"))
+        mutate()  # while the packet is in the air
+        engine.run_until_idle()
+        assert received == []
+        return received
+
+    def test_crash_mid_flight(self, engine):
+        network = Network(engine)
+        network.add_mobile_node("m0")
+        network.add_fixed_node("f0")
+        self._send_and(engine, network,
+                       lambda: network.crash_node("f0"))
+        assert network.lost_packets == 1
+        assert network.stats_of("f0").dropped_packets == 1
+
+    def test_partition_mid_flight(self, engine):
+        network = Network(engine)
+        network.add_mobile_node("m0")
+        network.add_fixed_node("f0")
+        self._send_and(engine, network,
+                       lambda: network.partition({"m0"}, {"f0"}))
+        assert network.lost_packets == 1
+        assert network.stats_of("f0").dropped_packets == 1
+
+    def test_both_paths_account_identically(self, engine):
+        def run(mutate_name):
+            eng = SimEngine()
+            network = Network(eng)
+            network.add_mobile_node("m0")
+            network.add_fixed_node("f0")
+            network.node("f0").bind_port("data", lambda pkt: None)
+            network.node("m0").send(make_packet("m0", "f0"))
+            if mutate_name == "crash":
+                network.crash_node("f0")
+            else:
+                network.partition({"m0"}, {"f0"})
+            eng.run_until_idle()
+            return (network.lost_packets, network.delivered_packets,
+                    network.stats_of("f0").dropped_packets)
+
+        assert run("crash") == run("partition")
 
 
 class TestEnergy:

@@ -7,21 +7,30 @@ clean exit.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).resolve().parent.parent / "examples")
-    .glob("*.py"))
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((_ROOT / "examples").glob("*.py"))
+
+#: The examples import ``repro`` from the src layout; make sure the
+#: subprocess finds it even when pytest itself was launched bare (the
+#: runner's own path comes from pytest.ini's ``pythonpath = src``).
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(_ROOT / "src")] +
+    ([_ENV["PYTHONPATH"]] if _ENV.get("PYTHONPATH") else []))
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
 def test_example_runs_clean(script):
     result = subprocess.run([sys.executable, str(script)],
-                            capture_output=True, text=True, timeout=600)
+                            capture_output=True, text=True, timeout=600,
+                            env=_ENV)
     assert result.returncode == 0, (
         f"{script.name} failed:\n--- stdout ---\n{result.stdout[-2000:]}"
         f"\n--- stderr ---\n{result.stderr[-2000:]}")

@@ -23,6 +23,7 @@ from repro.experiments.gossip_scale import run_scale
 from repro.experiments.kernel_micro import run_all as run_kernel_micro
 from repro.experiments.reconfiguration import run_reconfiguration
 from repro.experiments.report import format_table
+from repro.experiments.scenario_suite import format_suite, run_suite
 
 
 TINY = Figure3Config(node_counts=(2, 3), messages=60, warmup=20.0,
@@ -93,6 +94,16 @@ class TestAblationHarnesses:
         optimization = next(r for r in results
                             if "dispatches/event" in r.name)
         assert optimization.value == 1.0
+
+
+class TestScenarioSuiteHarness:
+    def test_scaled_down_suite_runs_and_renders(self):
+        results = run_suite(["commuter_handoff", "flash_crowd_join"],
+                            seed=1, messages=30)
+        table = format_suite(results)
+        assert "commuter_handoff" in table and "flash_crowd_join" in table
+        for result in results:
+            assert result.reconfiguration_count() >= 1
 
 
 class TestReportFormatting:
