@@ -1,0 +1,254 @@
+"""Message-path benchmark: copy cost, allocations per packet, churn at scale.
+
+Measures the three quantities the copy-on-write refactor targets:
+
+* **micro** — the cost of one :meth:`Message.copy` and the retained
+  allocations behind a multicast fan-out (one
+  :meth:`~repro.simnet.packet.Packet.copy_for` per receiver), plus the
+  cost of the ``size_bytes`` accounting;
+* **churn** — wall-clock and engine-events/second of a churn-storm
+  scenario swept over group sizes (10–100 nodes), the workload the
+  ROADMAP's "scenario-driven benchmarks at scale" item asks for;
+* **parity** — byte counters of small Figure-3 cells, which must be
+  bit-identical before and after the refactor (the accounting changes
+  implementation, not meaning).
+
+The script only touches public API, so the same file runs against the
+pre-refactor tree (deep-copy message path) and the post-refactor tree
+(structural sharing): run it on both commits and diff the JSON.
+
+Usage::
+
+    python benchmarks/bench_message_path.py            # full sweep
+    python benchmarks/bench_message_path.py --smoke    # CI smoke (seconds)
+    python benchmarks/bench_message_path.py --out results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.kernel.message import Message
+from repro.simnet.packet import Packet
+from repro.kernel.events import SendableEvent
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.scenario import (ChatBurst, Crash, Leave, NodeSpec,
+                                      Recover, Scenario)
+
+FULL_SIZES = (10, 30, 60, 100)
+SMOKE_SIZES = (10,)
+
+
+# -- micro: the per-copy / per-packet cost ----------------------------------
+
+def _wire_like_message() -> Message:
+    """A message shaped like real wire traffic: dict control payload plus a
+    few tuple headers (mecho + reliable + causal + net framing)."""
+    message = Message(payload={"kind": "flush_ack", "from": "mobile-07",
+                               "sent": 134, "delivered": {"fixed-0": 133,
+                                                          "mobile-07": 134}})
+    message.push_header(("rm", "mobile-07", 134, 3))
+    message.push_header(("vc", {"fixed-0": 133, "mobile-07": 134}))
+    message.push_header(("mecho", "direct", "mobile-07"))
+    return message
+
+
+def bench_micro(iterations: int) -> dict:
+    message = _wire_like_message()
+
+    # copy() latency
+    start = time.perf_counter()
+    for _ in range(iterations):
+        message.copy()
+    copy_us = (time.perf_counter() - start) / iterations * 1e6
+
+    # retained allocations per copy (the fan-out cost: one copy per
+    # receiver on the seed path, one shared structure afterwards)
+    copies = []
+    before_blocks = sys.getallocatedblocks()
+    for _ in range(iterations):
+        copies.append(message.copy())
+    copy_blocks = (sys.getallocatedblocks() - before_blocks) / iterations
+    del copies
+
+    # packet fan-out: blocks retained per receiver of a 1→N multicast
+    packet = Packet(src="fixed-0", dst=("a", "b"), port="data",
+                    event_cls=SendableEvent, message=_wire_like_message())
+    receivers = [f"m-{i}" for i in range(iterations)]
+    fanout = []
+    before_blocks = sys.getallocatedblocks()
+    for dst in receivers:
+        fanout.append(packet.copy_for(dst))
+    fanout_blocks = (sys.getallocatedblocks() - before_blocks) / iterations
+    del fanout
+
+    # size accounting: repeated reads (cached after the refactor) and a
+    # push/pop churn loop (incremental maintenance)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        message.size_bytes
+    size_read_us = (time.perf_counter() - start) / iterations * 1e6
+
+    start = time.perf_counter()
+    for index in range(iterations):
+        message.push_header(("bench", index))
+        message.size_bytes
+        message.pop_header()
+    push_pop_size_us = (time.perf_counter() - start) / iterations * 1e6
+
+    return {
+        "iterations": iterations,
+        "copy_us": round(copy_us, 3),
+        "copy_retained_blocks": round(copy_blocks, 2),
+        "fanout_retained_blocks_per_receiver": round(fanout_blocks, 2),
+        "size_read_us": round(size_read_us, 3),
+        "push_size_pop_us": round(push_pop_size_us, 3),
+    }
+
+
+# -- churn at scale ----------------------------------------------------------
+
+def churn_scenario(nodes: int, messages: int = 70,
+                   duration_s: float = 45.0) -> Scenario:
+    """A churn-storm sized to ``nodes``: crashes, a recovery and a leave
+    under a steady chat stream (the canonical reconfiguration workload).
+
+    Deliberately self-contained rather than delegating to
+    ``canned("churn_storm", members=N)``: this file must run unmodified on
+    older commits for before/after comparisons (the library gained the
+    ``members`` knob in the same change this benchmark ships with), and it
+    scales its event schedule with ``duration_s`` so ``--smoke`` can
+    shrink the run — the canned scenario pins absolute event times.  Its
+    numbers are therefore comparable across commits of *this* harness,
+    not with the ``scenario_suite --churn-sweep`` table.
+    """
+    if nodes < 6:
+        raise ValueError("churn sweep needs >= 6 nodes")
+    fixed = nodes // 2
+    specs = tuple(NodeSpec(f"fixed-{i}", "fixed") for i in range(fixed)) + \
+        tuple(NodeSpec(f"mobile-{i}", "mobile") for i in range(nodes - fixed))
+    return Scenario(
+        name=f"churn_sweep_{nodes}",
+        duration_s=duration_s,
+        nodes=specs,
+        events=(Crash(round(duration_s * 0.27, 1), node="mobile-1"),
+                Crash(round(duration_s * 0.33, 1), node="mobile-2"),
+                Recover(round(duration_s * 0.53, 1), node="mobile-1"),
+                Leave(round(duration_s * 0.73, 1), node="fixed-1",
+                      depart_after=min(5.0, duration_s * 0.1))),
+        workload=(ChatBurst(start=1.0, sender="fixed-0", count=messages,
+                            interval=0.5),),
+        heartbeat_interval=2.0,
+    )
+
+
+def bench_churn(sizes: tuple[int, ...], messages: int,
+                duration_s: float, seed: int = 21) -> list[dict]:
+    rows = []
+    for nodes in sizes:
+        scenario = churn_scenario(nodes, messages=messages,
+                                  duration_s=duration_s)
+        start = time.perf_counter()
+        result = run_scenario(scenario, seed=seed)
+        wall = time.perf_counter() - start
+        summary = result.summary()
+        rows.append({
+            "nodes": nodes,
+            "wall_s": round(wall, 3),
+            "engine_events": result.engine_events,
+            "events_per_sec": round(result.engine_events / wall, 1),
+            "reconfigurations": result.reconfiguration_count(),
+            "sent_packets": summary["sent"],
+            "delivered_packets": result.delivered_packets,
+            "packets_per_sec": round(result.delivered_packets / wall, 1),
+        })
+        print(f"  churn n={nodes}: {wall:6.2f}s wall, "
+              f"{rows[-1]['events_per_sec']:>9} ev/s, "
+              f"{result.delivered_packets} delivered", file=sys.stderr)
+    return rows
+
+
+# -- byte-counter parity -----------------------------------------------------
+
+def bench_parity(messages: int = 150) -> dict:
+    """Packet and byte counters of small Figure-3 cells; the refactor must
+    reproduce these numbers exactly (same accounting, cheaper bookkeeping)."""
+    from repro.core.morpheus import build_morpheus_group, build_plain_group
+    from repro.simnet.engine import SimEngine
+    from repro.simnet.network import Network
+
+    parity = {}
+    for num_nodes in (2, 3):
+        for optimized in (False, True):
+            engine = SimEngine()
+            network = Network(engine, seed=42)
+            network.add_fixed_node("fixed-0")
+            for index in range(num_nodes - 1):
+                network.add_mobile_node(f"mobile-{index}")
+            if optimized:
+                nodes = build_morpheus_group(network)
+            else:
+                nodes = build_plain_group(network)
+            sender = nodes["mobile-0"]
+            engine.run_until(30.0)
+            for index in range(messages):
+                engine.call_at(30.0 + index * 0.1,
+                               lambda i=index: sender.send(f"chat-{i}"))
+            engine.run_until(30.0 + messages * 0.1 + 20.0)
+            totals = network.total_stats()
+            key = f"fig3_n{num_nodes}_{'opt' if optimized else 'plain'}"
+            parity[key + "_sent_total"] = totals["sent_total"]
+            parity[key + "_sent_control"] = totals["sent_control"]
+            parity[key + "_sent_bytes"] = totals["sent_bytes"]
+    return parity
+
+
+def main(argv: Optional[list[str]] = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI (a few seconds)")
+    parser.add_argument("--sizes", type=int, nargs="*", default=None,
+                        help="churn sweep group sizes (default 10 30 60 100)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="micro-benchmark iterations")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON report to this file")
+    parser.add_argument("--skip-churn", action="store_true")
+    parser.add_argument("--skip-parity", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes = tuple(args.sizes) if args.sizes else SMOKE_SIZES
+        iterations = args.iterations or 2_000
+        messages, duration, parity_messages = 30, 25.0, 40
+    else:
+        sizes = tuple(args.sizes) if args.sizes else FULL_SIZES
+        iterations = args.iterations or 20_000
+        messages, duration, parity_messages = 70, 45.0, 150
+
+    report: dict = {"mode": "smoke" if args.smoke else "full"}
+    print("micro: message copy / fan-out / size accounting",
+          file=sys.stderr)
+    report["micro"] = bench_micro(iterations)
+    if not args.skip_churn:
+        print(f"churn sweep over {sizes}", file=sys.stderr)
+        report["churn"] = bench_churn(sizes, messages=messages,
+                                      duration_s=duration)
+    if not args.skip_parity:
+        print("byte-counter parity cells", file=sys.stderr)
+        report["parity"] = bench_parity(messages=parity_messages)
+
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return report
+
+
+if __name__ == "__main__":
+    main()

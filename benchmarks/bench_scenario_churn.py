@@ -44,3 +44,36 @@ def test_churn_scales_with_group_size():
     large = run_scenario(canned("flash_crowd_join", joiners=5), seed=21)
     # Each admitted wave costs one redeployment.
     assert large.reconfiguration_count() > small.reconfiguration_count()
+
+
+@pytest.mark.parametrize("members", (10, 20))
+def test_churn_storm_group_size_sweep(benchmark, members):
+    """The scale-sweep shape at tier-1-friendly sizes: same event schedule,
+    bigger group, survivors still agree end to end."""
+    result = benchmark.pedantic(
+        lambda: run_scenario(canned("churn_storm", members=members),
+                             seed=21),
+        rounds=1, iterations=1)
+    assert result.reconfiguration_count() >= 1
+    assert result.texts["fixed-0"] == result.texts["mobile-0"]
+    assert len(result.texts["fixed-0"]) == 120
+    benchmark.extra_info["nodes"] = members
+    benchmark.extra_info["engine_events"] = result.engine_events
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("members", (30, 60, 100))
+def test_churn_storm_at_scale(benchmark, members):
+    """The full 10–100 node sweep (ROADMAP "scenario-driven benchmarks at
+    scale").  Bench files are not auto-collected (``bench_*`` misses the
+    ``test_*`` pattern), so name the file:
+    ``pytest -m slow benchmarks/bench_scenario_churn.py`` — or use
+    ``python -m repro.experiments.scenario_suite --churn-sweep``."""
+    result = benchmark.pedantic(
+        lambda: run_scenario(canned("churn_storm", members=members),
+                             seed=21),
+        rounds=1, iterations=1)
+    assert result.texts["fixed-0"] == result.texts["mobile-0"]
+    assert len(result.texts["fixed-0"]) == 120
+    benchmark.extra_info["nodes"] = members
+    benchmark.extra_info["engine_events"] = result.engine_events

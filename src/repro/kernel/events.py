@@ -152,10 +152,12 @@ class SendableEvent(Event):
         self.dest = dest
 
     def clone(self) -> "SendableEvent":
-        """Return an unbound copy with a deep-copied message.
+        """Return an unbound copy with an O(1) copy-on-write message handle.
 
         Used by fan-out layers (best-effort multicast, Mecho relaying) to
-        emit one wire message per destination.
+        emit one wire message per destination: the clones share the header
+        chain structurally, so N-way fan-out costs N handles, not N deep
+        copies (see :mod:`repro.kernel.message` for the ownership contract).
         """
         dup = type(self)(message=self.message.copy(),
                          source=self.source, dest=self.dest)

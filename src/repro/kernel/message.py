@@ -1,18 +1,54 @@
-"""Messages carried by sendable events.
+"""Messages carried by sendable events — copy-on-write with structural sharing.
 
 Appia messages are byte buffers with a header stack: each layer pushes its
 header on the way down and pops it on the way up.  This reproduction keeps
-the same push/pop discipline but stores headers as Python objects, which is
-what makes run-time layer swap trivial (no wire-format renegotiation).  For
-experiment accounting every header contributes a size estimate so that byte
-counters in :mod:`repro.simnet.stats` remain meaningful.
+the push/pop discipline but stores the stack as a **persistent (immutable)
+cons structure**: every :class:`Message` is a lightweight handle ``(payload,
+top-node)`` onto a shared chain of :class:`_HeaderNode` cells, each cell
+immutable once created.
+
+Consequences, and the ownership contract every layer relies on:
+
+* :meth:`Message.copy` is **O(1)** — it duplicates the handle, never the
+  chain or the payload.  Fan-out layers, retransmission stores and the
+  wire path copy freely; a multicast transmission shares one frozen chain
+  across all receivers.
+* ``push_header`` allocates one cell on top of the shared tail;
+  ``pop_header`` moves this handle's top pointer down.  Neither ever
+  mutates a cell, so **no sequence of push/pop on one handle can corrupt
+  another handle's view** — the isolation that previously required a deep
+  copy per receiver now holds structurally.
+* ``size_bytes`` is maintained **incrementally**: each cell caches the
+  cumulative size of the stack below-and-including it at creation, and the
+  payload estimate is cached per handle, so reading ``size_bytes`` after a
+  push/pop is O(1) instead of a recursive re-walk.
+* **Headers are frozen at push time.**  A layer that pushes mutable state
+  must push a private copy (as the causal layer does with its vector
+  clock), and a layer that pops a header must treat its contents as
+  read-only.  Mutating a header object after pushing it corrupts every
+  handle sharing the cell *and* desynchronizes the cached byte accounting.
+* **Payloads are shared by reference.**  This is a deliberately *narrower*
+  contract than the seed's (which deep-copied payloads on every
+  ``copy()``/``clone()``, so even within-node paths — loopbacks, held
+  sends, retransmit stores — were isolated): once a payload object is
+  attached to a message that has been sent, treat it as immutable.
+  Across the wire the old observable semantics are preserved — the
+  transport snapshots mutable payloads once per transmission
+  (:func:`snapshot_payload`, via :meth:`Message.wire_copy`), so a sender
+  mutating its payload object after the send cannot retroactively change
+  what receivers observe.  Received payloads are shared between the
+  delivery and any retransmission store — treat them as immutable.
+
+For experiment accounting every header contributes a size estimate so that
+byte counters in :mod:`repro.simnet.stats` remain meaningful; the estimates
+(and therefore every counter) are unchanged from the recursive-walk era.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field, fields, is_dataclass
-from typing import Any
+from dataclasses import fields, is_dataclass
+from typing import Any, Iterable, Optional
 
 #: Default serialized size charged for a header with no explicit estimate.
 DEFAULT_HEADER_SIZE = 8
@@ -52,51 +88,192 @@ def estimate_size(obj: Any) -> int:
     return DEFAULT_PAYLOAD_SIZE
 
 
-@dataclass
+#: Payload types that need no snapshot at the wire boundary.
+_IMMUTABLE_PAYLOAD_TYPES = (bytes, str, int, float, bool, frozenset,
+                            type(None), type)
+
+
+def snapshot_payload(obj: Any) -> Any:
+    """A one-level-per-container snapshot of a payload for transmission.
+
+    Unlike ``copy.deepcopy`` this understands the message model: immutable
+    leaves pass through untouched, a nested :class:`Message` (control
+    payloads carry them for retransmissions and gossip relays) becomes an
+    O(1) copy-on-write handle, and only mutable containers are rebuilt.
+    """
+    if isinstance(obj, _IMMUTABLE_PAYLOAD_TYPES):
+        return obj
+    if isinstance(obj, Message):
+        # wire_copy, not copy: the nested message's own payload must be
+        # snapshotted too, or a retransmitted/relayed message would leak
+        # sender-side mutations made after the original send.
+        return obj.wire_copy()
+    if isinstance(obj, tuple):
+        return tuple(snapshot_payload(item) for item in obj)
+    if isinstance(obj, list):
+        return [snapshot_payload(item) for item in obj]
+    if isinstance(obj, dict):
+        return {key: snapshot_payload(value) for key, value in obj.items()}
+    if isinstance(obj, set):
+        return {snapshot_payload(item) for item in obj}
+    if isinstance(obj, bytearray):
+        return bytearray(obj)
+    return copy.deepcopy(obj)
+
+
+class _HeaderNode:
+    """One immutable cell of a persistent header stack.
+
+    ``stack_bytes`` caches the cumulative wire-size charge of this cell and
+    everything below it, which is what makes ``Message.size_bytes`` O(1).
+    """
+
+    __slots__ = ("header", "below", "depth", "stack_bytes")
+
+    def __init__(self, header: Any, below: Optional["_HeaderNode"]) -> None:
+        self.header = header
+        self.below = below
+        self.depth = 1 if below is None else below.depth + 1
+        charge = max(estimate_size(header), 1) + 1  # +1 framing byte
+        self.stack_bytes = charge if below is None \
+            else below.stack_bytes + charge
+
+
 class Message:
-    """A payload plus a stack of protocol headers.
+    """A payload plus a persistent, structurally-shared stack of headers.
 
     The header stack follows Appia's discipline: :meth:`push_header` on the
     way down the stack, :meth:`pop_header` on the way up.  Layers must pop
     exactly the headers they pushed; violating the discipline raises
     ``IndexError`` which surfaces composition bugs immediately.
+
+    See the module docstring for the copy-on-write ownership contract.
     """
 
-    payload: Any = b""
-    headers: list[Any] = field(default_factory=list)
+    __slots__ = ("_payload", "_payload_size", "_top")
+
+    def __init__(self, payload: Any = b"",
+                 headers: Iterable[Any] = ()) -> None:
+        self._payload = payload
+        self._payload_size: Optional[int] = None
+        top: Optional[_HeaderNode] = None
+        for header in headers:  # given bottom → top, like the old list form
+            top = _HeaderNode(header, top)
+        self._top = top
+
+    # -- payload --------------------------------------------------------------
+
+    @property
+    def payload(self) -> Any:
+        return self._payload
+
+    @payload.setter
+    def payload(self, value: Any) -> None:
+        self._payload = value
+        self._payload_size = None  # re-estimated lazily
+
+    # -- header stack ---------------------------------------------------------
 
     def push_header(self, header: Any) -> None:
-        """Push ``header`` on top of the header stack."""
-        self.headers.append(header)
+        """Push ``header`` on top of the header stack (one cell allocated;
+        the stack below is shared, never copied)."""
+        self._top = _HeaderNode(header, self._top)
 
     def pop_header(self) -> Any:
-        """Pop and return the top header.
+        """Pop and return the top header (this handle's view only; other
+        handles sharing the chain are unaffected).
 
         Raises:
             IndexError: if the header stack is empty.
         """
-        return self.headers.pop()
+        top = self._top
+        if top is None:
+            raise IndexError("pop from an empty header stack")
+        self._top = top.below
+        return top.header
 
     def peek_header(self) -> Any:
         """Return the top header without removing it."""
-        return self.headers[-1]
+        if self._top is None:
+            raise IndexError("peek on an empty header stack")
+        return self._top.header
+
+    @property
+    def header_depth(self) -> int:
+        """Number of headers on the stack — O(1)."""
+        return 0 if self._top is None else self._top.depth
+
+    @property
+    def headers(self) -> list[Any]:
+        """The header stack as a fresh bottom→top list.
+
+        Materialized on demand for diagnostics and serialization
+        (:mod:`repro.protocols.fec` / ``frag`` freeze paths, tests).  Hot
+        paths should use :attr:`header_depth` / :meth:`peek_header` instead;
+        mutating the returned list does not affect the message.
+        """
+        out: list[Any] = []
+        node = self._top
+        while node is not None:
+            out.append(node.header)
+            node = node.below
+        out.reverse()
+        return out
+
+    # -- size accounting ------------------------------------------------------
 
     @property
     def size_bytes(self) -> int:
-        """Total estimated wire size of payload plus all headers."""
-        total = estimate_size(self.payload)
-        for header in self.headers:
-            total += max(estimate_size(header), 1) + 1  # +1 framing byte
-        return total
+        """Total estimated wire size of payload plus all headers — O(1).
+
+        The per-header charges live in the shared cells; the payload
+        estimate is cached per handle and invalidated when ``payload`` is
+        reassigned (mutating a payload *in place* is outside the ownership
+        contract — see the module docstring).
+        """
+        if self._payload_size is None:
+            self._payload_size = estimate_size(self._payload)
+        return self._payload_size + \
+            (0 if self._top is None else self._top.stack_bytes)
+
+    # -- copying --------------------------------------------------------------
 
     def copy(self) -> "Message":
-        """Return a deep copy, as if the message were re-read off the wire.
+        """Return an O(1) copy-on-write handle onto the same structure.
 
-        Point-to-point fan-out and relaying must copy messages so that one
-        receiver popping headers does not corrupt another receiver's view.
+        The copy and the original share the payload reference and the
+        header chain; push/pop on either never affects the other.  Fan-out,
+        relaying and retransmission stores copy with this.
         """
-        return Message(payload=copy.deepcopy(self.payload),
-                       headers=copy.deepcopy(self.headers))
+        dup = Message.__new__(Message)
+        dup._payload = self._payload
+        dup._payload_size = self._payload_size
+        dup._top = self._top
+        return dup
+
+    def wire_copy(self) -> "Message":
+        """A copy safe to hand to the network, as if serialized.
+
+        Like :meth:`copy` but with mutable payload containers snapshotted
+        (:func:`snapshot_payload`), so sender-side mutation after the send
+        cannot leak into what receivers observe — the seed-era "re-read off
+        the wire" semantics at a fraction of the former deep-copy cost.
+        """
+        dup = self.copy()
+        dup._payload = snapshot_payload(self._payload)
+        return dup
+
+    # -- dunder compatibility -------------------------------------------------
 
     def __len__(self) -> int:
         return self.size_bytes
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return self._payload == other._payload and \
+            self.headers == other.headers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message(payload={self._payload!r}, "
+                f"headers={self.headers!r})")

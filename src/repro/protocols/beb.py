@@ -52,7 +52,13 @@ class BestEffortMulticastSession(GroupSession):
         event.go()
 
     def _multicast(self, event: GroupSendableEvent) -> None:
-        """Translate a group send into transmissions plus a local loopback."""
+        """Translate a group send into transmissions plus a local loopback.
+
+        Every ``clone()`` here is an O(1) copy-on-write handle — the n-1
+        point-to-point wires (and the native-multicast wire) share the
+        message structure; isolation between receivers is the kernel
+        message contract, not a per-clone deep copy.
+        """
         assert self.local is not None, "beb used before ChannelInit"
         channel = event.channel
         others = self.others()

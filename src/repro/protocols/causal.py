@@ -49,6 +49,9 @@ class CausalOrderSession(GroupSession):
     def _outgoing(self, event: ApplicationMessage) -> None:
         assert self.local is not None, "causal layer used before ChannelInit"
         self.clock[self.local] = self.clock.get(self.local, 0) + 1
+        # dict(self.clock): headers are frozen at push time (the COW
+        # contract in repro.kernel.message) — pushing the live clock would
+        # let later ticks mutate a header shared across every receiver.
         event.message.push_header((_HEADER_TAG, dict(self.clock)))
         event.go()
 

@@ -42,7 +42,10 @@ def _freeze(message) -> bytes:
 
     Headers are included so the layer composes below other header-pushing
     layers (e.g. under :mod:`repro.protocols.reliable`, where recovered
-    messages must still carry their sequencing header).
+    messages must still carry their sequencing header).  ``.headers``
+    materializes the copy-on-write chain into a plain list, so the parity
+    blob captures the stack by value, independent of later push/pop on any
+    handle sharing it.
     """
     return pickle.dumps((message.payload, list(message.headers)),
                         protocol=_PICKLE_PROTOCOL)
@@ -161,7 +164,7 @@ class FecSession(GroupSession):
         return state
 
     def _incoming_data(self, event: ApplicationMessage) -> None:
-        if not event.message.headers:
+        if event.message.header_depth == 0:
             self.foreign_dropped += 1  # headerless frame (generation skew)
             return
         header = event.message.pop_header()

@@ -88,6 +88,8 @@ class FragmentationSession(GroupSession):
 
     def _fragment(self, event: SendableEvent) -> None:
         assert self.local is not None, "frag used before ChannelInit"
+        # ``headers`` materializes the shared chain into a plain list —
+        # pickling must serialize the stack by value, never the handle.
         blob = pickle.dumps(
             (type(event), event.message.payload, list(event.message.headers),
              event.source), protocol=_PICKLE_PROTOCOL)

@@ -89,6 +89,9 @@ class GossipSession(GroupSession):
             return
         chosen = self._rng.sample(peers, k=min(self.fanout, len(peers)))
         for peer in chosen:
+            # The wrapped message is an O(1) copy-on-write handle: every
+            # rumor of a round (and every relay of a relay) shares the
+            # infected message's structure all the way down the wire.
             rumor = self.control_message(
                 GossipMessage,
                 {"mid": mid, "ttl": ttl, "origin": origin,

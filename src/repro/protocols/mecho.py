@@ -180,7 +180,7 @@ class MechoSession(GroupSession):
 
     def _incoming(self, event: GroupSendableEvent) -> None:
         channel = event.channel
-        if not event.message.headers:
+        if event.message.header_depth == 0:
             self.foreign_dropped += 1  # headerless frame: not from mecho
             return
         header = event.message.pop_header()

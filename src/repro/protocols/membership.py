@@ -56,6 +56,7 @@ Dynamic membership growth (the scenario subsystem's join/rejoin path):
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.kernel.events import Direction, Event, TimerEvent
@@ -97,12 +98,27 @@ _JOIN_ANNOUNCE_TICKS = 6
 #: A suspicion-based exclusion may be a false positive (a partition, a
 #: transient overload), and once both sides have shrunk their views no
 #: beacon ever crosses the old boundary again — so every node keeps
-#: probing the peers it lost to suspicion with ``join_req``, every
-#: ``_PROBE_EVERY_TICKS``-th retry tick, up to ``_PROBE_BUDGET`` probes per
-#: peer.  A healed partition merges through these probes; a genuinely dead
-#: peer costs a bounded trickle of unicasts and is then given up on.
+#: probing the peers it lost to suspicion with ``join_req``.  The first
+#: probe fires ``_PROBE_EVERY_TICKS`` retry ticks after the loss and the
+#: per-peer interval then doubles up to ``_PROBE_MAX_TICKS`` — capped
+#: exponential back-off with **no hard cutoff**.  (Earlier revisions spent
+#: a fixed budget of ~40 probes and then gave up, which made a peer
+#: recovering after ~80 s unreachable forever unless it re-joined
+#: explicitly.)  A healed partition merges through these probes; a
+#: genuinely dead peer costs one unicast per ``_PROBE_MAX_TICKS`` ticks
+#: (half a minute at the default retry interval) for as long as it stays
+#: dead.
 _PROBE_EVERY_TICKS = 4
-_PROBE_BUDGET = 40
+_PROBE_MAX_TICKS = 64
+
+
+@dataclass
+class _ProbeState:
+    """Back-off state for one lost peer: ticks until the next probe, and
+    the interval to re-arm with after it fires."""
+
+    countdown: int = _PROBE_EVERY_TICKS
+    interval: int = _PROBE_EVERY_TICKS
 
 
 class _Phase(enum.Enum):
@@ -132,11 +148,17 @@ class MembershipSession(GroupSession):
         #: Deliberately departed members; their beacons do not readmit them.
         self.banned: set[str] = set()
         self._deliberate_excludes: set[str] = set()
-        #: Peers lost to suspicion-based exclusion, with their remaining
-        #: probe budget (see _PROBE_BUDGET).
-        self._lost_peers: dict[str, int] = {}
-        self._probe_countdown = _PROBE_EVERY_TICKS
+        #: Peers lost to suspicion-based exclusion, with their probe
+        #: back-off state (capped exponential, no cutoff — see
+        #: _PROBE_MAX_TICKS).
+        self._lost_peers: dict[str, _ProbeState] = {}
         self.held_view: Optional[View] = None
+        #: Every ``(view_id, members)`` this session has installed, ever.
+        #: The readmission exception consults it: an "install" that exactly
+        #: replays a view this node already lived through is a stale-view
+        #: resurrection (a zombie answering probes), never a genuine merge
+        #: — a real merge view carries a new id or a new membership.
+        self._installed_history: set[tuple[int, tuple[str, ...]]] = set()
         #: Called with the held view when a hold-flush completes (Core hook).
         self.quiescence_listener: Optional[Callable[[View], None]] = None
 
@@ -296,10 +318,7 @@ class MembershipSession(GroupSession):
             for joiner in self._announce_joiners:
                 self._broadcast_install(channel, unicast_to=joiner)
         if self._probing_lost_peers():
-            self._probe_countdown -= 1
-            if self._probe_countdown <= 0:
-                self._probe_countdown = _PROBE_EVERY_TICKS
-                self._probe_lost_peers(channel)
+            self._probe_lost_peers(channel)
         coordinating = self._target_view is not None and \
             self.view is not None and self._flush_coordinator() == self.local
         if coordinating:
@@ -351,11 +370,13 @@ class MembershipSession(GroupSession):
     def _probe_lost_peers(self, channel) -> None:
         assert self.local is not None
         for peer in sorted(self._lost_peers):
-            remaining = self._lost_peers[peer] - 1
-            if remaining <= 0:
-                del self._lost_peers[peer]
-            else:
-                self._lost_peers[peer] = remaining
+            state = self._lost_peers[peer]
+            state.countdown -= 1
+            if state.countdown > 0:
+                continue
+            # Fire, then back off: double the interval up to the cap.
+            state.interval = min(state.interval * 2, _PROBE_MAX_TICKS)
+            state.countdown = state.interval
             self._send_join_req(peer, channel)
 
     # -- suspicion / triggers ---------------------------------------------------------
@@ -581,7 +602,17 @@ class MembershipSession(GroupSession):
             # would let a stale high-numbered view swallow a healthy group).
             return
         if self.view.includes(member):
-            # Already admitted: the joiner lost the installation — repeat it.
+            # Already admitted: the joiner lost the installation — repeat
+            # it.  Only the acting coordinator answers: repeating an
+            # installation is a coordinator duty everywhere else in this
+            # protocol, and a non-coordinator's view may itself be stale.
+            # (A recovered zombie whose pre-crash view still includes the
+            # prober would otherwise answer the live group's lost-peer
+            # probes by re-announcing that dead view, which the probers
+            # accept through the readmission exception below — observed as
+            # a permanent group-wide stall in the 10+-node churn sweeps.)
+            if self._flush_coordinator() != self.local:
+                return
             payload = {"kind": "view_install",
                        "new_view_id": self.view.view_id,
                        "members": list(self.view.members),
@@ -666,6 +697,8 @@ class MembershipSession(GroupSession):
         watermark = self.view.view_id if self.view is not None else -1
         if self.held_view is not None:
             watermark = max(watermark, self.held_view.view_id)
+        proposed = View(self.group, payload["new_view_id"],
+                        tuple(payload["members"]))
         if payload["new_view_id"] <= watermark:
             # One exception to monotonicity: divergent histories.  A node
             # excluded by suspicion (crash, partition) keeps numbering views
@@ -674,18 +707,16 @@ class MembershipSession(GroupSession):
             # outside its current view, is accepted even at a lower id, as
             # long as it actually moves this node somewhere new (repeats of
             # the same installation stay deduplicated).
-            proposed = View(self.group, payload["new_view_id"],
-                            tuple(payload["members"]))
             announcer = payload.get("from")
             readmission = (self.view is not None and
                            self.local in payload.get("joiners", ()) and
                            not self.view.includes(announcer) and
-                           proposed != self.view)
+                           proposed != self.view and
+                           (proposed.view_id, tuple(proposed.members))
+                           not in self._installed_history)
             if not readmission:
                 return
-        view = View(self.group, payload["new_view_id"],
-                    tuple(payload["members"]))
-        self._install(view, hold=bool(payload["hold"]), channel=channel,
+        self._install(proposed, hold=bool(payload["hold"]), channel=channel,
                       joiners=tuple(payload.get("joiners", ())),
                       departed=tuple(payload.get("departed", ())),
                       announcer=payload.get("from"))
@@ -698,6 +729,7 @@ class MembershipSession(GroupSession):
                  departed: tuple[str, ...] = (),
                  announcer: Optional[str] = None) -> None:
         previous = set(self.view.members) if self.view is not None else set()
+        self._installed_history.add((view.view_id, tuple(view.members)))
         self._target_view = None
         self._acks = {}
         self._cut_acks = set()
@@ -728,8 +760,8 @@ class MembershipSession(GroupSession):
         # longer lost.
         lost = previous - set(view.members) - set(departed) - self.banned
         for peer in sorted(lost):
-            if peer != self.local:
-                self._lost_peers.setdefault(peer, _PROBE_BUDGET)
+            if peer != self.local and peer not in self._lost_peers:
+                self._lost_peers[peer] = _ProbeState()
         for peer in list(self._lost_peers):
             if view.includes(peer) or peer in self.banned:
                 del self._lost_peers[peer]

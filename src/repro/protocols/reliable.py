@@ -52,7 +52,12 @@ _SYNC_MAX_REPEATS = 8
 
 @dataclass
 class _StoredMessage:
-    """Snapshot of a delivered message, kept for retransmission."""
+    """Snapshot of a delivered message, kept for retransmission.
+
+    ``message`` is an O(1) copy-on-write handle: it shares the delivered
+    message's structure, and every retransmission serves a fresh handle, so
+    the store never deep-copies (receivers popping headers cannot reach the
+    stored view — see :mod:`repro.kernel.message`)."""
 
     cls: type
     message: Message
@@ -176,7 +181,7 @@ class ReliableMulticastSession(GroupSession):
 
     def _receive(self, event: SequencedEvent) -> None:
         channel = event.channel
-        if not event.message.headers:
+        if event.message.header_depth == 0:
             self.foreign_dropped += 1  # headerless frame (generation skew)
             return
         header = event.message.pop_header()

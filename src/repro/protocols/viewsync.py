@@ -72,6 +72,9 @@ class ViewSyncSession(GroupSession):
                     and event._armed:
                 event.go()
             else:
+                # Re-injection into a (possibly new) channel: clone() is an
+                # O(1) handle, so holding sends across a reconfiguration
+                # costs queue slots, not message copies.
                 clone = event.clone()
                 self.send_down(clone, channel=channel)
 

@@ -96,13 +96,30 @@ def degrading_channel_fec(*, messages: int = 200, degrade_at: float = 25.0,
     )
 
 
-def churn_storm(*, messages: int = 120, duration_s: float = 70.0) -> Scenario:
+def churn_storm(*, messages: int = 120, duration_s: float = 70.0,
+                members: int = 5) -> Scenario:
     """Back-to-back crashes, one recovery and a graceful leave.
 
     Exercises exclusion flushes (including the restart when a second crash
     lands mid-flush), singleton re-admission after recovery, and the
     leave/ban path — all under a continuous chat stream from a survivor.
+
+    ``members`` scales the group for the 10–100 node benchmark sweeps: the
+    canonical five nodes (and the churn events on them) are kept verbatim,
+    and the remainder is filled with bystander fixed/mobile members who
+    live through every flush — so the reconfiguration work grows with the
+    group while the event schedule stays identical across sizes.
     """
+    if members < 5:
+        raise ValueError(f"churn_storm needs >= 5 members, got {members}")
+    extra = members - 5
+    extra_fixed = extra // 2
+    bystanders = tuple(
+        NodeSpec(f"fixed-{2 + index}", "fixed")
+        for index in range(extra_fixed)
+    ) + tuple(
+        NodeSpec(f"mobile-{3 + index}", "mobile")
+        for index in range(extra - extra_fixed))
     return Scenario(
         name="churn_storm",
         duration_s=duration_s,
@@ -110,7 +127,7 @@ def churn_storm(*, messages: int = 120, duration_s: float = 70.0) -> Scenario:
                NodeSpec("fixed-1", "fixed"),
                NodeSpec("mobile-0", "mobile"),
                NodeSpec("mobile-1", "mobile"),
-               NodeSpec("mobile-2", "mobile")),
+               NodeSpec("mobile-2", "mobile")) + bystanders,
         events=(Crash(15.0, node="mobile-1"),
                 Crash(18.0, node="mobile-2"),
                 Recover(30.0, node="mobile-1"),

@@ -200,6 +200,19 @@ class ScenarioRunner:
     def _apply(self, event: ScenarioEvent, index: int) -> None:
         network = self.network
         assert network is not None
+        target = getattr(event, "node", None)
+        if target is not None and target not in network.nodes:
+            # The target is absent: it departed (a Leave earlier in the
+            # schedule removed it) or it has not joined yet (join_at later
+            # than this event).  validate() cannot see ordering, so
+            # tolerate both here — traced with the actual reason, the same
+            # way _depart tolerates a node that already left.
+            reason = "departed" if target in network.departed \
+                else "not joined yet"
+            self._trace.append(
+                f"{self.engine.now():9.3f}s skipped "
+                f"{type(event).__name__.lower()} {target} ({reason})")
+            return
         if isinstance(event, Handoff):
             kind = NodeKind.MOBILE if event.to == "mobile" else NodeKind.FIXED
             network.move_node(event.node, kind)

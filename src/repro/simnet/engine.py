@@ -20,18 +20,25 @@ from typing import Callable, Optional
 class ScheduledCall:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("when", "seq", "callback", "cancelled")
+    __slots__ = ("when", "seq", "callback", "cancelled", "_engine")
 
-    def __init__(self, when: float, seq: int,
-                 callback: Callable[[], None]) -> None:
+    def __init__(self, when: float, seq: int, callback: Callable[[], None],
+                 engine: Optional["SimEngine"] = None) -> None:
         self.when = when
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._engine is not None:
+                # Still pending: uncount it.  A cancel after the entry
+                # fired (the engine detached itself) is a no-op.
+                self._engine._live -= 1
+                self._engine = None
 
     def __lt__(self, other: "ScheduledCall") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -51,6 +58,11 @@ class SimEngine:
         self._seq = itertools.count()
         #: Total callbacks executed; exposed for benchmarks and debugging.
         self.fired_count = 0
+        #: Scheduled, not-yet-cancelled, not-yet-fired entries.  Maintained
+        #: on push/fire/cancel so :attr:`pending` is O(1) — scenario
+        #: runners poll it for progress checks, which used to scan the
+        #: whole heap each call.
+        self._live = 0
 
     # -- Clock protocol -----------------------------------------------------
 
@@ -70,8 +82,9 @@ class SimEngine:
         """Schedule ``callback`` at absolute virtual time ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
-        entry = ScheduledCall(when, next(self._seq), callback)
+        entry = ScheduledCall(when, next(self._seq), callback, engine=self)
         heapq.heappush(self._heap, entry)
+        self._live += 1
         return entry
 
     # -- execution ------------------------------------------------------------
@@ -81,8 +94,10 @@ class SimEngine:
         while self._heap:
             entry = heapq.heappop(self._heap)
             if entry.cancelled:
-                continue
+                continue  # already uncounted at cancel time
             self._now = max(self._now, entry.when)
+            self._live -= 1
+            entry._engine = None  # fired: late cancels must not uncount
             entry.callback()
             self.fired_count += 1
             return True
@@ -115,8 +130,8 @@ class SimEngine:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled, not-yet-cancelled callbacks."""
-        return sum(1 for entry in self._heap if not entry.cancelled)
+        """Number of scheduled, not-yet-cancelled callbacks — O(1)."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SimEngine t={self._now:.6f}s pending={self.pending}>"

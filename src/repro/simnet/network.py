@@ -282,6 +282,10 @@ class Network:
         that is the whole point of native multicast — but it is only legal
         within a single segment (see module docstring); violations raise
         ``ValueError`` because they indicate a protocol configuration bug.
+        The per-receiver packets share the transmission's frozen message
+        structurally (:meth:`Packet.copy_for` hands each receiver an O(1)
+        copy-on-write handle), so fan-out cost is per-packet bookkeeping,
+        not per-receiver message copies.
         """
         if not sender.alive:
             sender.stats.record_dropped()

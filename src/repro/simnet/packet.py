@@ -1,10 +1,24 @@
 """Packets crossing the simulated network.
 
 A packet is the wire form of a :class:`~repro.kernel.events.SendableEvent`:
-the event's message (deep-copied at transmission time), the event class (so
-the receiving transport can reconstruct a correctly-typed event — the
-kernel's route optimization depends on the type), addressing, and the
-traffic class used by the experiment counters.
+the event's message (a copy-on-write handle frozen at transmission time),
+the event class (so the receiving transport can reconstruct a
+correctly-typed event — the kernel's route optimization depends on the
+type), addressing, and the traffic class used by the experiment counters.
+
+Wire framing: the **logical source** of the message travels as a first-class
+packet field (``logical_src``) rather than as a pseudo-header pushed onto
+the message stack.  It may differ from ``src`` (the transmitting NIC) when
+a relay forwards on behalf of a sender.  The field is charged
+:data:`SRC_FIELD_OVERHEAD` plus the address size so byte counters stay
+identical to the seed-era accounting, which serialized the same information
+as a ``("__net_src__", src)`` header.
+
+Fan-out: a native-multicast transmission is materialized as one
+:class:`Packet` per receiver (:meth:`Packet.copy_for`), but every
+per-receiver packet shares the *same frozen message structure* — the copy
+is an O(1) handle, so a 1→N multicast allocates N small packet records and
+zero message deep-copies.
 
 The paper's Figure 3 counts *messages transmitted by the mobile device,
 including data and control messages*; the ``traffic_class`` tag lets the
@@ -17,11 +31,17 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.kernel.message import Message
+from repro.kernel.message import Message, estimate_size
 
 #: Fixed per-packet overhead charged on top of the message size
 #: (rough stand-in for UDP/IP + MAC framing).
 PACKET_OVERHEAD_BYTES = 28
+
+#: Framing charge for the logical-source field, on top of the address
+#: itself.  Chosen to equal the seed-era charge for the
+#: ``("__net_src__", src)`` pseudo-header (tag + tuple + framing bytes), so
+#: every historical byte counter reproduces exactly.
+SRC_FIELD_OVERHEAD = 14
 
 _packet_ids = itertools.count(1)
 
@@ -35,15 +55,19 @@ class Packet:
     """One simulated datagram.
 
     Attributes:
-        src: sending node identifier.
+        src: transmitting node identifier (the NIC the packet left from).
         dst: destination node identifier, or a tuple of identifiers for a
             native-multicast transmission.
         port: demultiplexing key — by convention the channel name.
         event_cls: the :class:`SendableEvent` subclass to reconstruct on
             delivery.
-        message: the carried message (already a private copy).
+        message: the carried message (a frozen copy-on-write handle; owned
+            by this packet, structurally shared with its siblings).
+        logical_src: the message's logical sender, reported as the
+            reconstructed event's ``source``; defaults to ``src``.
         traffic_class: ``"data"`` or ``"control"``.
-        size_bytes: wire size including per-packet overhead.
+        size_bytes: wire size including per-packet and source-field
+            overhead.
         sent_at: virtual time of transmission (set by the network).
         hops: link hops traversed (set by the network; diagnostics).
     """
@@ -53,6 +77,7 @@ class Packet:
     port: str
     event_cls: type
     message: Message
+    logical_src: Optional[str] = None
     traffic_class: str = DATA
     size_bytes: int = 0
     sent_at: float = 0.0
@@ -60,8 +85,12 @@ class Packet:
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self) -> None:
+        if self.logical_src is None:
+            self.logical_src = self.src
         if not self.size_bytes:
-            self.size_bytes = self.message.size_bytes + PACKET_OVERHEAD_BYTES
+            self.size_bytes = (self.message.size_bytes +
+                               estimate_size(self.logical_src) +
+                               SRC_FIELD_OVERHEAD + PACKET_OVERHEAD_BYTES)
 
     @property
     def is_multicast(self) -> bool:
@@ -69,9 +98,15 @@ class Packet:
         return isinstance(self.dst, tuple)
 
     def copy_for(self, dst: str) -> "Packet":
-        """A per-receiver copy with an isolated message buffer."""
+        """A per-receiver packet sharing this packet's frozen message.
+
+        The message handle is an O(1) copy-on-write duplicate: the receiver
+        may push/pop freely without affecting any sibling receiver's view,
+        while the header chain and payload remain physically shared.
+        """
         return Packet(src=self.src, dst=dst, port=self.port,
                       event_cls=self.event_cls, message=self.message.copy(),
+                      logical_src=self.logical_src,
                       traffic_class=self.traffic_class,
                       size_bytes=self.size_bytes, sent_at=self.sent_at,
                       hops=self.hops)

@@ -5,6 +5,15 @@ paper's Figure 3 is literally ``mobile_node.stats.sent_total`` after a chat
 run.  Counters are broken down by traffic class (data/control) and by the
 event type that generated the packet, which powers the control-overhead
 ablation (footnote 1 of the paper).
+
+Byte accounting rides ``Packet.size_bytes``, which is computed **once per
+transmission** from the message's incrementally-maintained size (see
+:mod:`repro.kernel.message`) plus framing overheads, and shared by every
+per-receiver packet of a multicast — recording a packet here never walks
+the header stack.  The charges are unchanged from the seed-era recursive
+accounting (the wire-framing rework keeps the old pseudo-header's byte
+cost as ``SRC_FIELD_OVERHEAD``), so historical Figure-2/Figure-3 numbers
+reproduce exactly.
 """
 
 from __future__ import annotations

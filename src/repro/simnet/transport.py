@@ -15,6 +15,20 @@ Addressing convention carried by ``SendableEvent.dest``:
 * ``"node-id"`` — unicast;
 * ``("a", "b", ...)`` — native multicast (one transmission), legal only
   within a segment (see :mod:`repro.simnet.network`).
+
+Wire framing: the outgoing message is frozen with
+:meth:`~repro.kernel.message.Message.wire_copy` (an O(1) copy-on-write
+handle with mutable payloads snapshotted once per transmission), and the
+logical sender travels in the packet's first-class ``logical_src`` field.
+Earlier revisions smuggled the sender as a ``("__net_src__", src)``
+pseudo-header pushed onto the message stack, which forced a header pop on
+every delivery and a deep copy per receiver; the field form keeps the
+message structure untouched end to end, so a native-multicast transmission
+shares one frozen message across all receivers (each reconstructed event
+gets its own O(1) handle via :meth:`Packet.copy_for`).  The byte charge of
+the old pseudo-header is preserved by the packet's source-field accounting
+(:data:`repro.simnet.packet.SRC_FIELD_OVERHEAD`), so Figure-2/Figure-3 era
+counters are reproduced exactly.
 """
 
 from __future__ import annotations
@@ -84,14 +98,14 @@ class SimTransportSession(Session):
         assert self.node is not None and event.channel is not None
         if event.dest is None:
             raise ValueError(f"outgoing {event!r} has no destination")
+        # The logical source may differ from the transmitting node when a
+        # relay forwards on behalf of a sender; it rides the packet field,
+        # not the header stack.
         source = event.source if event.source is not None else self.node.node_id
-        wire_message = event.message.copy()
-        # Record the logical source for the receiver; it may differ from the
-        # transmitting node when a relay forwards on behalf of a sender.
-        wire_message.push_header(("__net_src__", source))
         packet = Packet(src=self.node.node_id, dst=event.dest,
                         port=event.channel.name, event_cls=type(event),
-                        message=wire_message,
+                        message=event.message.wire_copy(),
+                        logical_src=source,
                         traffic_class=event.traffic_class)
         self.node.send(packet)
 
@@ -101,10 +115,11 @@ class SimTransportSession(Session):
         channel = self._channel_by_port.get(packet.port)
         if channel is None:  # pragma: no cover - unbound race, defensive
             return
-        tag, source = packet.message.pop_header()
-        assert tag == "__net_src__", f"corrupt wire framing: {tag!r}"
-        event = packet.event_cls(message=packet.message, source=source,
-                                 dest=packet.dst)
+        # The packet owns its message handle (unicast: frozen at _send;
+        # multicast: a per-receiver handle from copy_for), so the event can
+        # adopt it directly — zero message copies on the delivery path.
+        event = packet.event_cls(message=packet.message,
+                                 source=packet.logical_src, dest=packet.dst)
         self.send_up(event, channel=channel)
 
 

@@ -48,12 +48,38 @@ class TestHeaderStack:
         assert len(message.headers) == 1
         assert message.peek_header().seqno == 7
 
-    def test_copy_deep_copies_mutable_headers(self):
+    def test_copy_shares_structure_but_isolates_push_pop(self):
+        """The COW contract: copies are O(1) handles onto a shared chain —
+        push/pop on one handle never disturbs another, and header objects
+        are frozen at push time (shared by reference, never duplicated)."""
+        header = {"members": [1, 2]}
         message = Message()
-        message.push_header({"members": [1, 2]})
+        message.push_header(header)
         dup = message.copy()
-        dup.peek_header()["members"].append(3)
-        assert message.peek_header()["members"] == [1, 2]
+        assert dup.peek_header() is header  # shared, not deep-copied
+        dup.pop_header()
+        dup.push_header("replacement")
+        assert message.peek_header() is header
+        assert message.header_depth == 1
+
+    def test_wire_copy_snapshots_mutable_payload(self):
+        """The wire boundary keeps seed semantics: once transmitted, later
+        sender-side payload mutation cannot leak to receivers."""
+        payload = {"members": [1, 2]}
+        message = Message(payload=payload)
+        wire = message.wire_copy()
+        payload["members"].append(3)
+        assert wire.payload == {"members": [1, 2]}
+
+    def test_headers_property_is_a_detached_list(self):
+        message = Message()
+        message.push_header("a")
+        message.push_header("b")
+        listed = message.headers
+        assert listed == ["a", "b"]
+        listed.append("c")  # mutating the materialized view is a no-op
+        assert message.headers == ["a", "b"]
+        assert message.header_depth == 2
 
 
 class TestSizeEstimation:

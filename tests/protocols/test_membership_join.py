@@ -108,6 +108,43 @@ class TestPartitionMerge:
         engine.run_until(45.0)
         assert "merged" in collector_of(channels["d"]).payloads()
 
+    def test_late_heal_still_merges_after_old_probe_budget(self):
+        """Probing backs off exponentially but never gives up: a partition
+        healed long after the historical ~48 s probe budget (40 probes,
+        every 4th 0.3 s retry tick) would have stayed split forever under
+        the budgeted scheme; with capped back-off the sides still merge."""
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "mobile", "d": "mobile"})
+        engine.run_until(1.0)
+        network.partition({"a", "b"}, {"c", "d"})
+        engine.run_until(65.0)  # well past the old cutoff, still split
+        assert collector_of(channels["a"]).view.members == ("a", "b")
+        assert collector_of(channels["c"]).view.members == ("c", "d")
+        # Both sides are still tracking (and probing) their lost peers.
+        assert set(membership_of(channels["a"])._lost_peers) == {"c", "d"}
+        assert set(membership_of(channels["c"])._lost_peers) == {"a", "b"}
+        network.heal_partition()
+        engine.run_until(110.0)
+        for node_id, channel in channels.items():
+            assert collector_of(channel).view.members == \
+                ("a", "b", "c", "d"), node_id
+        collector_of(channels["a"]).send_text("late-merge")
+        engine.run_until(115.0)
+        assert "late-merge" in collector_of(channels["d"]).payloads()
+
+    def test_probe_interval_is_capped(self):
+        """Steady-state probing of a long-dead peer settles at the cap —
+        bounded background cost, not unbounded growth or zero."""
+        from repro.protocols.membership import _PROBE_MAX_TICKS
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(1.0)
+        network.crash_node("c")
+        engine.run_until(120.0)
+        probes = membership_of(channels["a"])._lost_peers
+        assert set(probes) == {"c"}
+        assert probes["c"].interval == _PROBE_MAX_TICKS
+
 
 class TestDeliberateDepartures:
     def test_leaver_is_banned_from_stranger_readmission(self):

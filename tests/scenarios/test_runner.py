@@ -126,3 +126,46 @@ class TestFullSweep:
         second = run_scenario(canned(name), seed=seed)
         assert first == second
         assert first.reconfiguration_count() >= 1
+
+
+class TestEventsOnDepartedNodes:
+    def test_event_targeting_departed_node_is_skipped_not_fatal(self):
+        """validate() cannot see schedule ordering, so an event landing
+        after its target's Leave must be tolerated (and traced), not crash
+        the run with a KeyError."""
+        from repro.scenarios.scenario import (ChatBurst, Crash, Handoff,
+                                              Leave, NodeSpec, Scenario)
+        scenario = Scenario(
+            name="departed_target",
+            duration_s=30.0,
+            nodes=(NodeSpec("a", "fixed"), NodeSpec("b", "fixed"),
+                   NodeSpec("c", "fixed")),
+            events=(Leave(8.0, node="c", depart_after=2.0),
+                    Handoff(15.0, node="c", to="mobile"),
+                    Crash(16.0, node="c")),
+            workload=(ChatBurst(start=1.0, sender="a", count=20,
+                                interval=0.5),),
+        )
+        result = run_scenario(scenario, seed=11)
+        assert any("skipped handoff c (departed)" in line
+                   for line in result.trace)
+        assert any("skipped crash c (departed)" in line
+                   for line in result.trace)
+        assert len(result.texts["a"]) == 20  # the run itself completed
+
+    def test_event_before_targets_join_is_traced_as_not_joined(self):
+        from repro.scenarios.scenario import (ChatBurst, Crash, NodeSpec,
+                                              Scenario)
+        scenario = Scenario(
+            name="early_target",
+            duration_s=30.0,
+            nodes=(NodeSpec("a", "fixed"), NodeSpec("b", "fixed"),
+                   NodeSpec("x", "mobile", join_at=20.0)),
+            events=(Crash(10.0, node="x"),),  # fires before x exists
+            workload=(ChatBurst(start=1.0, sender="a", count=10,
+                                interval=0.5),),
+        )
+        result = run_scenario(scenario, seed=11)
+        assert any("skipped crash x (not joined yet)" in line
+                   for line in result.trace)
+        assert len(result.texts["a"]) == 10

@@ -120,3 +120,50 @@ class TestDeterminism:
             return log
 
         assert run() == run()
+
+
+class TestPendingCounter:
+    """``pending`` is a live counter (O(1)), not a heap scan; it must stay
+    exact through any interleaving of scheduling, firing and cancellation."""
+
+    @staticmethod
+    def _heap_scan(engine: SimEngine) -> int:
+        return sum(1 for entry in engine._heap if not entry.cancelled)
+
+    def test_counts_push_fire_cancel(self):
+        engine = SimEngine()
+        handles = [engine.call_later(i / 10.0, lambda: None)
+                   for i in range(10)]
+        assert engine.pending == 10
+        handles[3].cancel()
+        handles[7].cancel()
+        assert engine.pending == 8
+        engine.step()
+        assert engine.pending == 7
+        engine.run_until_idle()
+        assert engine.pending == 0
+
+    def test_matches_heap_scan_under_random_interleaving(self):
+        import random as _random
+        rng = _random.Random(5)
+        engine = SimEngine()
+        handles = []
+        for round_index in range(200):
+            action = rng.random()
+            if action < 0.5 or not handles:
+                handles.append(
+                    engine.call_later(rng.random(), lambda: None))
+            elif action < 0.75:
+                handles.pop(rng.randrange(len(handles))).cancel()
+            else:
+                engine.step()
+            assert engine.pending == self._heap_scan(engine)
+        engine.run_until_idle()
+        assert engine.pending == 0
+
+    def test_cancelling_a_fired_entry_does_not_go_negative(self):
+        engine = SimEngine()
+        handle = engine.call_later(0.0, lambda: None)
+        engine.run_until_idle()
+        handle.cancel()  # late cancel of an already-fired entry
+        assert engine.pending == 0
