@@ -1,0 +1,203 @@
+"""Timer-wheel benchmark: scheduler micro-costs, timer churn, engine parity.
+
+Measures the three quantities the bucketed-timer-wheel work targets:
+
+* **micro** — scheduler-isolated schedule/cancel/expiry costs of the wheel
+  (:class:`SimEngine`) against the reference binary heap
+  (:class:`HeapSimEngine`), over the workloads a live run produces:
+  steady-state timer churn, arm/disarm churn (NACK-style timers cancelled
+  before firing) and same-instant bursts (batch slot expiry);
+* **churn** — engine-events/s and the *timer share* of the dispatch load in
+  the churn-storm scale sweep (10–100 nodes).  ``timer_events`` counts
+  kernel timer dispatches; the one-shot probe/backoff conversion shrinks
+  it — a permanently dead peer costs one timer event per probe instead of
+  a 0.5 s countdown tick on every survivor forever;
+* **parity** — a full scenario run on the wheel engine and on the heap
+  engine must produce *equal* :class:`ScenarioResult` records: identical
+  delivered-message traces, byte counters, view histories and event
+  counts.  The wheel batches expiry, it never reorders it.
+
+Usage::
+
+    python benchmarks/bench_timer_wheel.py            # full sweep
+    python benchmarks/bench_timer_wheel.py --smoke    # CI smoke (seconds)
+    python benchmarks/bench_timer_wheel.py --out results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.scenarios.library import canned
+from repro.scenarios.runner import run_scenario
+from repro.simnet.engine import HeapSimEngine, SimEngine
+
+FULL_SIZES = (10, 30, 60, 100)
+SMOKE_SIZES = (10,)
+
+ENGINES = {"wheel": SimEngine, "heap": HeapSimEngine}
+
+
+# -- micro: scheduler-isolated schedule/cancel/expiry -------------------------
+
+def _bench_steady_state(factory, events: int) -> float:
+    """Self-rescheduling timer ring: ~5k pending, one push per pop."""
+    engine = factory()
+    count = 0
+
+    def rearm() -> None:
+        nonlocal count
+        count += 1
+        if count < events:
+            engine.call_later(0.37 + (count % 640) / 6400.0, rearm)
+
+    for index in range(min(5_000, events)):
+        engine.call_later((index % 640) / 640.0, rearm)
+    start = time.perf_counter()
+    engine.run_until_idle()
+    return (time.perf_counter() - start) / engine.fired_count * 1e6
+
+
+def _bench_cancel_churn(factory, rounds: int) -> float:
+    """Arm/disarm churn: 300 timers per round, all but 10 cancelled."""
+    engine = factory()
+    start = time.perf_counter()
+    for _ in range(rounds):
+        handles = [engine.call_later(0.3 + (i % 97) / 970.0, lambda: None)
+                   for i in range(300)]
+        for handle in handles[:-10]:
+            handle.cancel()
+        engine.run_until(engine.now() + 0.05)
+    engine.run_until_idle()
+    return (time.perf_counter() - start) / (rounds * 300) * 1e6
+
+
+def _bench_same_slot_burst(factory, events: int) -> float:
+    """Dense same-instant expiry: the batch-fire path."""
+    engine = factory()
+    for index in range(events):
+        engine.call_at((index % 40) * 0.25, lambda: None)
+    start = time.perf_counter()
+    engine.run_until_idle()
+    return (time.perf_counter() - start) / events * 1e6
+
+
+def bench_micro(events: int) -> dict:
+    report: dict = {"events": events}
+    for name, factory in ENGINES.items():
+        report[name] = {
+            "steady_state_us": round(_bench_steady_state(factory, events), 3),
+            "cancel_churn_us": round(
+                _bench_cancel_churn(factory, max(events // 150, 10)), 3),
+            "same_slot_burst_us": round(
+                _bench_same_slot_burst(factory, events), 3),
+        }
+    return report
+
+
+# -- churn at scale ----------------------------------------------------------
+
+def bench_churn(sizes: tuple[int, ...], seed: int = 0) -> list[dict]:
+    rows = []
+    for nodes in sizes:
+        scenario = canned("churn_storm", members=nodes)
+        start = time.perf_counter()
+        result = run_scenario(scenario, seed=seed)
+        wall = time.perf_counter() - start
+        rows.append({
+            "nodes": nodes,
+            "wall_s": round(wall, 3),
+            "engine_events": result.engine_events,
+            "timer_events": result.timer_events,
+            "timer_share_pct": round(
+                100.0 * result.timer_events / result.engine_events, 2),
+            "events_per_sec": round(result.engine_events / wall, 1),
+            "reconfigurations": result.reconfiguration_count(),
+            "sent": result.summary()["sent"],
+            "delivered": result.delivered_packets,
+            "lost": result.lost_packets,
+        })
+        print(f"  churn n={nodes}: {wall:6.2f}s wall, "
+              f"{rows[-1]['engine_events']} events "
+              f"({rows[-1]['timer_events']} timer ticks, "
+              f"{rows[-1]['timer_share_pct']}%)", file=sys.stderr)
+    return rows
+
+
+# -- wheel/heap parity -------------------------------------------------------
+
+def bench_parity(nodes: int, seed: int = 0) -> dict:
+    """Run the same scenario on both engines; results must compare equal.
+
+    ``ScenarioResult.__eq__`` covers the delivered-chat traces, the
+    formatted topology/reconfiguration trace, per-node NIC byte counters,
+    view histories and the engine event count — so one equality is the
+    whole bit-identical claim.
+    """
+    scenario = canned("churn_storm", members=nodes)
+    results = {name: run_scenario(scenario, seed=seed, engine_factory=factory)
+               for name, factory in ENGINES.items()}
+    wheel, heap = results["wheel"], results["heap"]
+    if wheel != heap:  # pragma: no cover - the regression this bench guards
+        raise AssertionError(
+            "wheel and heap engines diverged on the same scenario")
+    sent_bytes = sum(s.get("sent_bytes", 0) for s in wheel.stats.values())
+    return {
+        "nodes": nodes,
+        "identical": True,
+        "engine_events": wheel.engine_events,
+        "delivered_packets": wheel.delivered_packets,
+        "sent_bytes_total": sent_bytes,
+        "delivered_texts": sum(len(t) for t in wheel.texts.values()),
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI (a few seconds)")
+    parser.add_argument("--sizes", type=int, nargs="*", default=None,
+                        help="churn sweep group sizes (default 10 30 60 100)")
+    parser.add_argument("--events", type=int, default=None,
+                        help="micro-benchmark event count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON report to this file")
+    parser.add_argument("--skip-churn", action="store_true")
+    parser.add_argument("--skip-parity", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes = tuple(args.sizes) if args.sizes else SMOKE_SIZES
+        events = args.events or 6_000
+        parity_nodes = 10
+    else:
+        sizes = tuple(args.sizes) if args.sizes else FULL_SIZES
+        events = args.events or 30_000
+        parity_nodes = 20
+
+    report: dict = {"mode": "smoke" if args.smoke else "full"}
+    print("micro: scheduler schedule/cancel/expiry (wheel vs heap)",
+          file=sys.stderr)
+    report["micro"] = bench_micro(events)
+    if not args.skip_churn:
+        print(f"churn sweep over {sizes}", file=sys.stderr)
+        report["churn"] = bench_churn(sizes, seed=args.seed)
+    if not args.skip_parity:
+        print(f"wheel/heap parity at n={parity_nodes}", file=sys.stderr)
+        report["parity"] = bench_parity(parity_nodes, seed=args.seed)
+
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return report
+
+
+if __name__ == "__main__":
+    main()

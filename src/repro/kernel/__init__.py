@@ -18,8 +18,9 @@ from repro.kernel.clock import Clock, ManualClock
 from repro.kernel.errors import (ChannelStateError, ConfigurationError,
                                  EventRoutingError, InvalidQoSError,
                                  KernelError, UnknownLayerError)
-from repro.kernel.events import (ChannelClose, ChannelEvent, ChannelInit,
-                                 DebugEvent, Direction, EchoEvent, Event,
+from repro.kernel.events import (BackoffTimerEvent, ChannelClose,
+                                 ChannelEvent, ChannelInit, DebugEvent,
+                                 Direction, EchoEvent, Event,
                                  PeriodicTimerEvent, SendableEvent,
                                  TimerEvent)
 from repro.kernel.layer import Layer
@@ -38,7 +39,8 @@ __all__ = [
     "Clock", "ManualClock",
     "ChannelStateError", "ConfigurationError", "EventRoutingError",
     "InvalidQoSError", "KernelError", "UnknownLayerError",
-    "ChannelClose", "ChannelEvent", "ChannelInit", "DebugEvent", "Direction",
+    "BackoffTimerEvent", "ChannelClose", "ChannelEvent", "ChannelInit",
+    "DebugEvent", "Direction",
     "EchoEvent", "Event", "PeriodicTimerEvent", "SendableEvent", "TimerEvent",
     "Layer", "Message", "estimate_size", "QoS",
     "is_registered", "register_layer", "registered_layers", "resolve_layer",

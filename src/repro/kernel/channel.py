@@ -23,9 +23,10 @@ import enum
 from typing import Any, Optional
 
 from repro.kernel.errors import ChannelStateError, EventRoutingError
-from repro.kernel.events import (ChannelClose, ChannelEvent, ChannelInit,
-                                 Direction, EchoEvent, Event,
-                                 PeriodicTimerEvent, TimerEvent)
+from repro.kernel.events import (BackoffTimerEvent, ChannelClose,
+                                 ChannelEvent, ChannelInit, Direction,
+                                 EchoEvent, Event, PeriodicTimerEvent,
+                                 TimerEvent)
 from repro.kernel.layer import Layer
 from repro.kernel.qos import QoS
 from repro.kernel.scheduler import Kernel
@@ -48,6 +49,9 @@ class TimerHandle:
         self._channel = channel
         self._clock_handle: Any = None
         self.cancelled = False
+        #: The armed timer event (introspection: a backoff timer's current
+        #: ``interval``/``attempt`` live on the event between fires).
+        self.event: Optional[TimerEvent] = None
 
     def cancel(self) -> None:
         """Cancel the timer; periodic timers stop re-arming."""
@@ -226,10 +230,14 @@ class Channel:
         """Arm ``event`` for delivery to ``session`` after ``delay`` seconds.
 
         Periodic timer events re-arm automatically with their ``interval``
-        until cancelled or until the channel closes.
+        until cancelled or until the channel closes; backoff timer events
+        re-arm with their next (stretched) interval.  The re-arm happens
+        at fire time — between fires exactly one clock entry exists, so a
+        backoff loop costs one scheduler event per attempt.
         """
         self._check_live()
         handle = TimerHandle(self)
+        handle.event = event
 
         def fire() -> None:
             self._live_timers.discard(handle)
@@ -238,9 +246,18 @@ class Channel:
             event.fired_at = self.kernel.clock.now()
             event._bind(self, Direction.UP, [session], source=None)
             self.kernel.enqueue(event)
-            if isinstance(event, PeriodicTimerEvent) and not handle.cancelled:
+            if handle.cancelled:
+                # The dispatched handler cancelled its own timer.
+                return
+            if isinstance(event, PeriodicTimerEvent):
+                rearm_after: Optional[float] = event.interval
+            elif isinstance(event, BackoffTimerEvent):
+                rearm_after = event.advance()
+            else:
+                rearm_after = None
+            if rearm_after is not None:
                 handle._clock_handle = self.kernel.clock.call_later(
-                    event.interval, fire)
+                    rearm_after, fire)
                 self._live_timers.add(handle)
 
         handle._clock_handle = self.kernel.clock.call_later(delay, fire)

@@ -199,6 +199,52 @@ class PeriodicTimerEvent(TimerEvent):
         self.interval = interval
 
 
+class BackoffTimerEvent(TimerEvent):
+    """A one-shot that re-arms itself on fire, stretching its interval.
+
+    The first fire happens ``interval`` seconds after arming; each re-arm
+    multiplies the interval by ``factor``, capped at ``max_interval``.
+    With ``factor=1.0`` this degenerates to a plain rearm-on-fire one-shot
+    (a periodic timer expressed as consecutive one-shots).
+
+    This is the kernel primitive behind retry/probe loops: instead of a
+    forever-armed periodic tick that counts down in protocol state (two
+    scheduler events per second per node for the lifetime of the channel),
+    the timer itself fires exactly once per attempt — a permanently dead
+    peer costs one timer event per probe, however far apart the probes
+    back off.  Cancel the handle returned by
+    :meth:`~repro.kernel.session.Session.set_backoff_timer` to stop the
+    loop; ``attempt`` counts completed fires for the consuming session.
+    """
+
+    def __init__(self, tag: Any = None, interval: float = 1.0,
+                 max_interval: Optional[float] = None,
+                 factor: float = 2.0) -> None:
+        super().__init__(tag)
+        if interval <= 0:
+            raise ValueError(f"non-positive interval: {interval}")
+        if factor < 1.0:
+            raise ValueError(f"shrinking backoff factor: {factor}")
+        if max_interval is not None and max_interval <= 0:
+            # A zero cap would re-arm at the same virtual instant forever
+            # (a livelock); reject it here rather than hang mid-run.
+            raise ValueError(f"non-positive max_interval: {max_interval}")
+        self.interval = interval
+        self.max_interval = max_interval
+        self.factor = factor
+        #: Completed fires (0 while waiting for the first).
+        self.attempt = 0
+
+    def advance(self) -> float:
+        """Account one fire and return the next interval (kernel-internal)."""
+        self.attempt += 1
+        interval = self.interval * self.factor
+        if self.max_interval is not None:
+            interval = min(interval, self.max_interval)
+        self.interval = interval
+        return interval
+
+
 class DebugEvent(ChannelEvent):
     """Traverses the full stack collecting a description of each session.
 

@@ -33,11 +33,13 @@ Consequences, and the ownership contract every layer relies on:
   sends, retransmit stores — were isolated): once a payload object is
   attached to a message that has been sent, treat it as immutable.
   Across the wire the old observable semantics are preserved — the
-  transport snapshots mutable payloads once per transmission
-  (:func:`snapshot_payload`, via :meth:`Message.wire_copy`), so a sender
-  mutating its payload object after the send cannot retroactively change
-  what receivers observe.  Received payloads are shared between the
-  delivery and any retransmission store — treat them as immutable.
+  transport snapshots mutable payloads (:func:`snapshot_payload`, via
+  :meth:`Message.wire_copy`) so a sender mutating its payload object
+  after the send cannot retroactively change what receivers observe; the
+  snapshot is computed once per payload and cached across the message's
+  copy family, so a fan-out's N transmissions share one snapshot.
+  Received payloads are shared between the delivery and any
+  retransmission store — treat them as immutable.
 
 For experiment accounting every header contributes a size estimate so that
 byte counters in :mod:`repro.simnet.stats` remain meaningful; the estimates
@@ -150,12 +152,18 @@ class Message:
     See the module docstring for the copy-on-write ownership contract.
     """
 
-    __slots__ = ("_payload", "_payload_size", "_top")
+    __slots__ = ("_payload", "_payload_size", "_top", "_wire_cache")
 
     def __init__(self, payload: Any = b"",
                  headers: Iterable[Any] = ()) -> None:
         self._payload = payload
         self._payload_size: Optional[int] = None
+        #: Shared wire-snapshot cell (see :meth:`wire_copy`): a one-element
+        #: list holding the cached :func:`snapshot_payload` of the current
+        #: payload, shared by every handle :meth:`copy` derives from this
+        #: one so a fan-out's N transmissions snapshot once.  ``None``
+        #: until the first copy/wire_copy needs it.
+        self._wire_cache: Optional[list] = None
         top: Optional[_HeaderNode] = None
         for header in headers:  # given bottom → top, like the old list form
             top = _HeaderNode(header, top)
@@ -171,6 +179,9 @@ class Message:
     def payload(self, value: Any) -> None:
         self._payload = value
         self._payload_size = None  # re-estimated lazily
+        # Detach from the shared snapshot cell: this handle's payload is
+        # new, while copies made earlier keep their (still valid) cache.
+        self._wire_cache = None
 
     # -- header stack ---------------------------------------------------------
 
@@ -245,10 +256,16 @@ class Message:
         header chain; push/pop on either never affects the other.  Fan-out,
         relaying and retransmission stores copy with this.
         """
+        cache = self._wire_cache
+        if cache is None:
+            # Install the shared snapshot cell at the sharing point, so
+            # every handle of this copy family sees one cache.
+            cache = self._wire_cache = [None]
         dup = Message.__new__(Message)
         dup._payload = self._payload
         dup._payload_size = self._payload_size
         dup._top = self._top
+        dup._wire_cache = cache
         return dup
 
     def wire_copy(self) -> "Message":
@@ -258,9 +275,27 @@ class Message:
         (:func:`snapshot_payload`), so sender-side mutation after the send
         cannot leak into what receivers observe — the seed-era "re-read off
         the wire" semantics at a fraction of the former deep-copy cost.
+
+        The snapshot of an unchanged payload is **cached in a cell shared
+        across the message's copy family**: a best-effort fan-out of one
+        group send — N clones of one event, each crossing the transport —
+        snapshots the payload dict once, not N times, and a relay
+        re-transmitting a received message reuses the snapshot it was
+        delivered with (the snapshot, being immutable by contract, is its
+        own wire form).  The cache is invalidated when ``payload`` is
+        reassigned; mutating a payload object *in place* after it was
+        first transmitted is outside the ownership contract (see the
+        module docstring) with or without the cache.
         """
-        dup = self.copy()
-        dup._payload = snapshot_payload(self._payload)
+        cache = self._wire_cache
+        if cache is None:
+            cache = self._wire_cache = [None]
+        snap = cache[0]
+        if snap is None:
+            snap = snapshot_payload(self._payload)
+            cache[0] = snap
+        dup = self.copy()  # shares the cache cell holding ``snap``
+        dup._payload = snap
         return dup
 
     # -- dunder compatibility -------------------------------------------------

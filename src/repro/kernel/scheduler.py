@@ -18,7 +18,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from repro.kernel.clock import Clock, ManualClock
-from repro.kernel.events import Event
+from repro.kernel.events import Event, TimerEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.channel import Channel
@@ -41,6 +41,16 @@ class Kernel:
         self._channels: list["Channel"] = []
         #: Total events dispatched; exposed for the kernel micro-benchmarks.
         self.dispatched_count = 0
+        #: Timer events among them.  Benchmarks use the split to attribute
+        #: dispatch-loop load to timer ticks (probe retries, heartbeats)
+        #: versus traffic — the quantity the one-shot timer work targets.
+        self.timer_dispatched_count = 0
+
+    # -- clock convenience ---------------------------------------------------
+
+    def now(self) -> float:
+        """Current virtual time of this node's clock."""
+        return self.clock.now()
 
     # -- channel registry ----------------------------------------------------
 
@@ -86,6 +96,8 @@ class Kernel:
                     continue
                 channel._dispatch(event)
                 self.dispatched_count += 1
+                if isinstance(event, TimerEvent):
+                    self.timer_dispatched_count += 1
         finally:
             self._dispatching = False
 

@@ -12,8 +12,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.kernel.errors import EventRoutingError
-from repro.kernel.events import (Direction, Event, PeriodicTimerEvent,
-                                 TimerEvent)
+from repro.kernel.events import (BackoffTimerEvent, Direction, Event,
+                                 PeriodicTimerEvent, TimerEvent)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.channel import Channel, TimerHandle
@@ -107,6 +107,23 @@ class Session:
         """Arm a periodic timer firing every ``interval`` until cancelled."""
         if event is None:
             event = PeriodicTimerEvent(tag, interval)
+        return self._resolve(channel).set_timer(interval, event, self)
+
+    def set_backoff_timer(self, interval: float, tag: Any = None,
+                          max_interval: Optional[float] = None,
+                          factor: float = 2.0,
+                          channel: Optional["Channel"] = None) -> "TimerHandle":
+        """Arm a rearm-on-fire one-shot whose interval stretches by
+        ``factor`` (capped at ``max_interval``) after every fire.
+
+        The timer event's ``attempt`` counts completed fires.  With
+        ``factor=1.0`` this is a constant-interval rearm-on-fire one-shot
+        — the event-driven replacement for periodic ticks whose handler
+        decides per fire whether the loop should continue (cancel the
+        returned handle to stop it).
+        """
+        event = BackoffTimerEvent(tag, interval, max_interval=max_interval,
+                                  factor=factor)
         return self._resolve(channel).set_timer(interval, event, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -44,8 +44,12 @@ class HeartbeatSession(GroupSession):
 
     def on_channel_init(self, event: Event) -> None:
         if not self._timer_armed:
-            self.set_periodic_timer(self.interval, tag=_BEAT_TIMER,
-                                    channel=event.channel)
+            # Rearm-on-fire one-shot (factor 1.0): same cadence as the old
+            # periodic timer, expressed through the backoff primitive so
+            # the beat is a self-rescheduling one-shot like every other
+            # timer loop in the suite.
+            self.set_backoff_timer(self.interval, tag=_BEAT_TIMER,
+                                   factor=1.0, channel=event.channel)
             self._timer_armed = True
 
     def on_view(self, event: ViewEvent) -> None:
@@ -74,7 +78,7 @@ class HeartbeatSession(GroupSession):
     # -- internals ----------------------------------------------------------
 
     def _now(self, channel) -> float:
-        return channel.kernel.clock.now()
+        return channel.kernel.now()
 
     def _beat(self, channel) -> None:
         if self.local is None:

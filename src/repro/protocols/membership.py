@@ -56,8 +56,7 @@ Dynamic membership growth (the scenario subsystem's join/rejoin path):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.kernel.events import Direction, Event, TimerEvent
 from repro.kernel.layer import Layer
@@ -71,9 +70,14 @@ from repro.protocols.events import (GROUP_DEST, BlockEvent, CutReachedEvent,
                                     TriggerViewChangeEvent, UnsuspectEvent,
                                     View, ViewEvent)
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.channel import TimerHandle
+
 _INSTALL_TIMER = "gms-install-initial"
 _RETRY_TIMER = "gms-retry"
 _HOLD_RELEASE_TIMER = "gms-hold-release"
+#: Per-peer probe one-shots carry ``(_PROBE_TIMER, peer)`` tags.
+_PROBE_TIMER = "gms-probe"
 
 #: Retry ticks a member waits in AWAIT_INSTALL of a *hold* flush before
 #: self-installing the (fully known) target view.  Needed for liveness: in
@@ -98,27 +102,23 @@ _JOIN_ANNOUNCE_TICKS = 6
 #: A suspicion-based exclusion may be a false positive (a partition, a
 #: transient overload), and once both sides have shrunk their views no
 #: beacon ever crosses the old boundary again — so every node keeps
-#: probing the peers it lost to suspicion with ``join_req``.  The first
-#: probe fires ``_PROBE_EVERY_TICKS`` retry ticks after the loss and the
-#: per-peer interval then doubles up to ``_PROBE_MAX_TICKS`` — capped
-#: exponential back-off with **no hard cutoff**.  (Earlier revisions spent
-#: a fixed budget of ~40 probes and then gave up, which made a peer
-#: recovering after ~80 s unreachable forever unless it re-joined
-#: explicitly.)  A healed partition merges through these probes; a
-#: genuinely dead peer costs one unicast per ``_PROBE_MAX_TICKS`` ticks
-#: (half a minute at the default retry interval) for as long as it stays
-#: dead.
+#: probing the peers it lost to suspicion with ``join_req``.  Each lost
+#: peer gets its own **backoff one-shot timer**
+#: (:meth:`~repro.kernel.session.Session.set_backoff_timer`): the first
+#: probe fires ``_PROBE_EVERY_TICKS`` retry intervals after the loss and
+#: the per-peer interval then doubles up to ``_PROBE_MAX_TICKS`` retry
+#: intervals — capped exponential back-off with **no hard cutoff**.
+#: (Earlier revisions spent a fixed budget of ~40 probes and then gave
+#: up, which made a peer recovering after ~80 s unreachable forever
+#: unless it re-joined explicitly.)  A healed partition merges through
+#: these probes; a genuinely dead peer costs one unicast *and one timer
+#: event* per back-off interval (half a minute at the default retry
+#: interval) for as long as it stays dead.  Before the backoff timers,
+#: probing kept every survivor's periodic retry tick armed forever — two
+#: scheduler events per second per node per channel just to count down —
+#: which the 100-node churn sweep showed as pure timer churn.
 _PROBE_EVERY_TICKS = 4
 _PROBE_MAX_TICKS = 64
-
-
-@dataclass
-class _ProbeState:
-    """Back-off state for one lost peer: ticks until the next probe, and
-    the interval to re-arm with after it fires."""
-
-    countdown: int = _PROBE_EVERY_TICKS
-    interval: int = _PROBE_EVERY_TICKS
 
 
 class _Phase(enum.Enum):
@@ -148,10 +148,11 @@ class MembershipSession(GroupSession):
         #: Deliberately departed members; their beacons do not readmit them.
         self.banned: set[str] = set()
         self._deliberate_excludes: set[str] = set()
-        #: Peers lost to suspicion-based exclusion, with their probe
-        #: back-off state (capped exponential, no cutoff — see
-        #: _PROBE_MAX_TICKS).
-        self._lost_peers: dict[str, _ProbeState] = {}
+        #: Peers lost to suspicion-based exclusion → the backoff one-shot
+        #: timer probing them (capped exponential, no cutoff — see
+        #: _PROBE_MAX_TICKS; the handle's event carries the live
+        #: interval/attempt state).
+        self._lost_peers: dict[str, "TimerHandle"] = {}
         self.held_view: Optional[View] = None
         #: Every ``(view_id, members)`` this session has installed, ever.
         #: The readmission exception consults it: an "install" that exactly
@@ -253,6 +254,16 @@ class MembershipSession(GroupSession):
     # -- timers ------------------------------------------------------------------------
 
     def _on_timer(self, event: TimerEvent) -> None:
+        tag = event.tag
+        if isinstance(tag, tuple) and tag[0] == _PROBE_TIMER:
+            # Per-peer backoff one-shot: probe and let the kernel re-arm
+            # at the stretched interval.  No periodic countdown is
+            # involved — this fire is the only scheduler event the probe
+            # cost since the previous one.
+            peer = tag[1]
+            if self.view is not None and peer in self._lost_peers:
+                self._send_join_req(peer, event.channel)
+            return
         if event.tag == _INSTALL_TIMER:
             if self.view is not None:
                 return
@@ -317,8 +328,6 @@ class MembershipSession(GroupSession):
             self._announce_ticks -= 1
             for joiner in self._announce_joiners:
                 self._broadcast_install(channel, unicast_to=joiner)
-        if self._probing_lost_peers():
-            self._probe_lost_peers(channel)
         coordinating = self._target_view is not None and \
             self.view is not None and self._flush_coordinator() == self.local
         if coordinating:
@@ -361,23 +370,22 @@ class MembershipSession(GroupSession):
                 self._install(self._target_view, hold=True, channel=channel,
                               immediate=True)
         elif self.phase is _Phase.STABLE and not coordinating and \
-                self._announce_ticks <= 0 and not self._probing_lost_peers():
+                self._announce_ticks <= 0:
             self._stop_retry()
 
-    def _probing_lost_peers(self) -> bool:
-        return self.view is not None and bool(self._lost_peers)
+    def _arm_probe(self, peer: str, channel) -> None:
+        """Start the per-peer probe loop: a backoff one-shot whose interval
+        doubles from 4 to 64 retry intervals, rearmed on every fire."""
+        self._lost_peers[peer] = self.set_backoff_timer(
+            _PROBE_EVERY_TICKS * self.retry_interval,
+            tag=(_PROBE_TIMER, peer),
+            max_interval=_PROBE_MAX_TICKS * self.retry_interval,
+            channel=channel)
 
-    def _probe_lost_peers(self, channel) -> None:
-        assert self.local is not None
-        for peer in sorted(self._lost_peers):
-            state = self._lost_peers[peer]
-            state.countdown -= 1
-            if state.countdown > 0:
-                continue
-            # Fire, then back off: double the interval up to the cap.
-            state.interval = min(state.interval * 2, _PROBE_MAX_TICKS)
-            state.countdown = state.interval
-            self._send_join_req(peer, channel)
+    def _drop_probe(self, peer: str) -> None:
+        handle = self._lost_peers.pop(peer, None)
+        if handle is not None:
+            handle.cancel()
 
     # -- suspicion / triggers ---------------------------------------------------------
 
@@ -757,14 +765,15 @@ class MembershipSession(GroupSession):
                 self._announce_ticks = _JOIN_ANNOUNCE_TICKS
         # Track suspicion-based losses for the probing loop: deliberately
         # departed members are not probed, members back in the view are no
-        # longer lost.
+        # longer lost.  Each lost peer gets its own backoff one-shot (the
+        # probe loop no longer rides the periodic retry tick).
         lost = previous - set(view.members) - set(departed) - self.banned
         for peer in sorted(lost):
             if peer != self.local and peer not in self._lost_peers:
-                self._lost_peers[peer] = _ProbeState()
+                self._arm_probe(peer, channel)
         for peer in list(self._lost_peers):
             if view.includes(peer) or peer in self.banned:
-                del self._lost_peers[peer]
+                self._drop_probe(peer)
         self.suspected &= set(view.members)
         self.pending_leavers &= set(view.members)
         self.flushes_completed += 1
@@ -800,8 +809,6 @@ class MembershipSession(GroupSession):
                  outstanding_joiners):
             # More changes queued up during the flush: change again.
             self._start_flush(hold=False, channel=channel)
-        elif self._probing_lost_peers():
-            self._arm_retry(channel)
         elif not (self.suspected or self.pending_leavers or
                   self._announce_ticks > 0):
             self._stop_retry()

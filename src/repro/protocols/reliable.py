@@ -77,7 +77,7 @@ class ReliableMulticastSession(GroupSession):
         self.cut: Optional[dict[str, int]] = None
         self.cut_coordinator: Optional[str] = None
         self.cut_announced = False
-        self._timer_armed = False
+        self._scan_handle = None
         #: View epoch stamped on every wire artifact.  Sequence numbers
         #: restart at each view, so a NACK, retransmission or sync from the
         #: previous view must never be interpreted in the new one — without
@@ -101,13 +101,46 @@ class ReliableMulticastSession(GroupSession):
     # -- lifecycle ----------------------------------------------------------
 
     def on_channel_init(self, event: Event) -> None:
-        self._arm_timer(event.channel)
+        """Deliberately arms nothing.
 
-    def _arm_timer(self, channel) -> None:
-        if not self._timer_armed:
-            self.set_periodic_timer(self.nack_interval, tag=_NACK_TIMER,
-                                    channel=channel)
-            self._timer_armed = True
+        The gap scan is armed on demand (first send, first gap, first
+        advert, flush cut) and stops itself when nothing is outstanding,
+        so an idle channel costs zero timer events.  The seed revision
+        armed a periodic ``nack_interval`` tick here for the lifetime of
+        the channel — at 100 nodes x 2 channels x 4 scans/s that idle
+        tick was the single largest timer consumer of the churn sweep.
+        """
+
+    def _ensure_scan(self, channel) -> None:
+        """Arm the scan loop (rearm-on-fire one-shot) if it is idle.
+
+        A cancelled handle counts as idle: channel teardown cancels every
+        live timer, so a session re-used after a reconfiguration must be
+        able to re-arm on its new channel.
+        """
+        if self._scan_handle is None or self._scan_handle.cancelled:
+            self._scan_handle = self.set_backoff_timer(
+                self.nack_interval, tag=_NACK_TIMER, factor=1.0,
+                channel=channel)
+
+    def _stop_scan(self) -> None:
+        if self._scan_handle is not None:
+            self._scan_handle.cancel()
+            self._scan_handle = None
+
+    def _scan_needed(self) -> bool:
+        """Is there outstanding work only the tick loop can finish?"""
+        if self.pending:
+            return True  # known gaps to re-NACK until repaired
+        if self.cut is not None and not self.cut_announced:
+            return True  # flush in progress: chase the cut
+        for sender, high in self._advertised.items():
+            if self.delivered.get(sender, 0) < high:
+                return True  # advertised messages we have not seen
+        sent = self.next_seqno - 1
+        # Tail-loss adverts still owed for our own traffic.
+        return sent > 0 and (sent > self._advertised_own or
+                             self._sync_repeats < _SYNC_MAX_REPEATS)
 
     def on_view(self, event: ViewEvent) -> None:
         """New view: restart sequencing with a clean, agreed state."""
@@ -129,6 +162,8 @@ class ReliableMulticastSession(GroupSession):
         if isinstance(event, TimerEvent):
             if event.tag == _NACK_TIMER:
                 self._scan_for_gaps(event.channel)
+                if not self._scan_needed():
+                    self._stop_scan()
             return
         if isinstance(event, FlushQueryEvent):
             self.send_up(FlushStatusEvent(self.next_seqno - 1, self.delivered),
@@ -140,6 +175,8 @@ class ReliableMulticastSession(GroupSession):
             self.cut_announced = False
             self._check_cut(event.channel)
             self._scan_for_gaps(event.channel)
+            if not self.cut_announced:
+                self._ensure_scan(event.channel)
             return
         if isinstance(event, NackMessage) and event.direction is Direction.UP:
             self._serve_nack(event)
@@ -152,6 +189,8 @@ class ReliableMulticastSession(GroupSession):
                     self._advertised.get(payload["from"], 0),
                     payload["sent"])
                 self._scan_for_gaps(event.channel)
+                if self._scan_needed():
+                    self._ensure_scan(event.channel)
             return
         if isinstance(event, RetransmissionMessage) and \
                 event.direction is Direction.UP:
@@ -173,6 +212,9 @@ class ReliableMulticastSession(GroupSession):
         seqno = self.next_seqno
         self.next_seqno += 1
         self._idle_ticks = 0
+        # Having sent, we owe tail-loss adverts once the stream goes
+        # quiet — make sure the scan loop is ticking to count idleness.
+        self._ensure_scan(event.channel)
         event.message.push_header((_HEADER_TAG, self.local, seqno,
                                    self.epoch))
         event.go()
@@ -216,6 +258,7 @@ class ReliableMulticastSession(GroupSession):
             return
         if seqno > expected:
             self.pending.setdefault(sender, {})[seqno] = snapshot
+            self._ensure_scan(channel)  # a gap to NACK until repaired
             return
         self._deliver(sender, seqno, snapshot, channel)
         self._drain_pending(sender, channel)

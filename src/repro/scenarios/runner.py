@@ -79,6 +79,10 @@ class ScenarioResult:
     delivered_packets: int = 0
     lost_packets: int = 0
     engine_events: int = 0
+    #: Kernel timer-event dispatches summed over all nodes — the share of
+    #: ``engine_events`` attributable to timer ticks (probe retries,
+    #: heartbeats, NACK rounds).  The timer-wheel benchmark tracks this.
+    timer_events: int = 0
     topology_epoch: int = 0
 
     def reconfiguration_count(self) -> int:
@@ -114,12 +118,18 @@ class ScenarioRunner:
         scenario: the declarative run description (validated on entry).
         seed: run seed — feeds the network RNG and every loss model built
             for the run, each through a stable per-purpose derivation.
+        engine_factory: constructor of the discrete-event engine; defaults
+            to :class:`~repro.simnet.engine.SimEngine`.  The timer-wheel
+            benchmark passes the reference heap scheduler here to prove
+            the two engines drive bit-identical runs.
     """
 
-    def __init__(self, scenario: Scenario, seed: int = 0) -> None:
+    def __init__(self, scenario: Scenario, seed: int = 0,
+                 engine_factory=SimEngine) -> None:
         scenario.validate()
         self.scenario = scenario
         self.seed = seed
+        self.engine_factory = engine_factory
         self.engine: Optional[SimEngine] = None
         self.network: Optional[Network] = None
         self.morpheus: dict[str, MorpheusNode] = {}
@@ -254,7 +264,7 @@ class ScenarioRunner:
 
     def run(self) -> ScenarioResult:
         scenario = self.scenario
-        self.engine = SimEngine()
+        self.engine = self.engine_factory()
         self.network = Network(
             self.engine, seed=self.seed,
             wired=self._link(scenario.wired, "wired"),
@@ -316,10 +326,15 @@ class ScenarioRunner:
             delivered_packets=network.delivered_packets,
             lost_packets=network.lost_packets,
             engine_events=self.engine.fired_count,
+            timer_events=sum(
+                node.node.kernel.timer_dispatched_count
+                for _, node in sorted(self.morpheus.items())),
             topology_epoch=network.topology_epoch)
         return result
 
 
-def run_scenario(scenario: Scenario, seed: int = 0) -> ScenarioResult:
+def run_scenario(scenario: Scenario, seed: int = 0,
+                 engine_factory=SimEngine) -> ScenarioResult:
     """One-call convenience: build a runner and execute the scenario."""
-    return ScenarioRunner(scenario, seed=seed).run()
+    return ScenarioRunner(scenario, seed=seed,
+                          engine_factory=engine_factory).run()

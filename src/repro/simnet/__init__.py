@@ -8,7 +8,7 @@ layer that connects Appia channels to simulated NICs.
 """
 
 from repro.simnet.energy import Battery, EnergyParams
-from repro.simnet.engine import ScheduledCall, SimEngine
+from repro.simnet.engine import HeapSimEngine, ScheduledCall, SimEngine
 from repro.simnet.loss import (BernoulliLoss, GilbertElliottLoss, LossModel,
                                NoLoss)
 from repro.simnet.network import (LinkParams, Network, TopologyChange,
@@ -21,7 +21,7 @@ from repro.simnet.transport import SimTransportLayer, SimTransportSession
 
 __all__ = [
     "Battery", "EnergyParams",
-    "ScheduledCall", "SimEngine",
+    "HeapSimEngine", "ScheduledCall", "SimEngine",
     "BernoulliLoss", "GilbertElliottLoss", "LossModel", "NoLoss",
     "LinkParams", "Network", "TopologyChange", "default_wired",
     "default_wireless",

@@ -152,3 +152,61 @@ class TestIncrementalSizeAccounting:
     def test_wire_copy_preserves_size(self, payload, headers):
         message = Message(payload=payload, headers=headers)
         assert message.wire_copy().size_bytes == message.size_bytes
+
+
+class TestWireSnapshotCache:
+    """One snapshot per payload, shared across the copy family — the
+    fan-out of one group send must not re-snapshot per receiver."""
+
+    def test_fanout_clones_share_one_snapshot(self):
+        # beb's pattern: all clones are taken first, the transport
+        # wire-copies each one afterwards.
+        message = Message(payload={"kind": "chat", "body": [1, 2, 3]})
+        clones = [message.copy() for _ in range(8)]
+        wires = [clone.wire_copy() for clone in clones]
+        assert len({id(wire.payload) for wire in wires}) == 1
+
+    def test_snapshot_still_isolates_sender_mutation(self):
+        message = Message(payload={"count": 1})
+        wire = message.wire_copy()
+        message.payload["count"] = 99  # sender-side mutation after send
+        assert wire.payload == {"count": 1}
+
+    def test_payload_reassignment_invalidates_the_cache(self):
+        message = Message(payload={"v": 1})
+        first = message.wire_copy()
+        message.payload = {"v": 2}
+        second = message.wire_copy()
+        assert first.payload == {"v": 1}
+        assert second.payload == {"v": 2}
+
+    def test_reassigned_handle_detaches_from_its_siblings(self):
+        original = Message(payload={"v": 1})
+        sibling = original.copy()
+        original.wire_copy()  # populate the shared cache
+        sibling.payload = {"v": 2}
+        assert sibling.wire_copy().payload == {"v": 2}
+        assert original.wire_copy().payload == {"v": 1}
+
+    def test_relay_rewire_reuses_the_received_snapshot(self):
+        # A received message re-transmitted by a relay is already in wire
+        # form: its payload is the snapshot, and re-snapshotting it would
+        # only burn allocations.
+        message = Message(payload={"hop": 0})
+        first_hop = message.wire_copy()
+        second_hop = first_hop.wire_copy()
+        assert second_hop.payload is first_hop.payload
+
+    def test_nested_message_payloads_share_via_the_cache(self):
+        # Gossip/retransmission pattern: a control payload carrying a
+        # Message; every relay's wire copy must reuse the inner snapshot.
+        inner = Message(payload={"body": ["x"]})
+        outer_a = Message(payload={"msg": inner.copy(), "ttl": 3})
+        outer_b = Message(payload={"msg": inner.copy(), "ttl": 3})
+        wire_a = outer_a.wire_copy()
+        wire_b = outer_b.wire_copy()
+        assert wire_a.payload["msg"].payload is wire_b.payload["msg"].payload
+
+    def test_immutable_payloads_pass_through(self):
+        message = Message(payload=b"raw-bytes")
+        assert message.wire_copy().payload is message.payload

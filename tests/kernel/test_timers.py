@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.kernel import (Event, Kernel, Layer, ManualClock,
-                          PeriodicTimerEvent, Session, TimerEvent)
+from repro.kernel import (BackoffTimerEvent, Event, Kernel, Layer,
+                          ManualClock, PeriodicTimerEvent, Session,
+                          TimerEvent)
 from tests.kernel.helpers import build_channel
 
 
@@ -92,6 +93,106 @@ class TestPeriodic:
         session.set_periodic_timer(3.0, PeriodicTimerEvent("slow", 3.0))
         clock.advance(9.5)
         assert len(session.fired) == 3
+
+
+class TestBackoff:
+    """One-shot-with-backoff: rearm-on-fire with a stretching interval."""
+
+    def test_intervals_double_up_to_the_cap(self, kernel, clock):
+        # The event object is reused across rearms, so fire times are
+        # recorded at dispatch time, not read back afterwards.
+        fire_times = []
+
+        class _RecordingSession(_TimerSession):
+            def handle(self, event):
+                if isinstance(event, TimerEvent):
+                    fire_times.append(event.fired_at)
+                super().handle(event)
+
+        class _RecordingLayer(_TimerLayer):
+            session_class = _RecordingSession
+
+        channel = build_channel(kernel, [_RecordingLayer()])
+        session = channel.sessions[0]
+        session.set_backoff_timer(1.0, tag="probe", max_interval=4.0)
+        clock.advance(96.0)
+        # Fires at 1, then +2, +4, then +4 forever (capped).
+        gaps = [round(b - a, 6) for a, b in zip(fire_times, fire_times[1:])]
+        assert fire_times[0] == pytest.approx(1.0)
+        assert gaps[:3] == [2.0, 4.0, 4.0]
+        assert set(gaps[3:]) == {4.0}
+
+    def test_attempt_counts_completed_fires(self, kernel, clock):
+        channel = build_channel(kernel, [_TimerLayer()])
+        session = channel.sessions[0]
+        handle = session.set_backoff_timer(1.0, tag="probe", max_interval=8.0)
+        clock.advance(3.1)  # fires at 1.0 and 3.0
+        assert len(session.fired) == 2
+        assert handle.event.attempt == 2
+        assert handle.event.interval == 4.0  # 1 -> 2 -> 4, cap not yet hit
+
+    def test_factor_one_is_constant_rearm_on_fire(self, kernel, clock):
+        channel = build_channel(kernel, [_TimerLayer()])
+        session = channel.sessions[0]
+        session.set_backoff_timer(2.0, tag="beat", factor=1.0)
+        clock.advance(7.0)  # fires at 2, 4, 6 — periodic cadence
+        assert len(session.fired) == 3
+
+    def test_one_clock_entry_per_attempt(self, kernel, clock):
+        # The event-count contract: between fires exactly one clock entry
+        # exists, however long the loop has been running.
+        channel = build_channel(kernel, [_TimerLayer()])
+        session = channel.sessions[0]
+        session.set_backoff_timer(1.0, tag="probe", max_interval=64.0)
+        clock.advance(200.0)
+        assert clock.pending == 1
+
+    def test_cancel_stops_the_loop(self, kernel, clock):
+        channel = build_channel(kernel, [_TimerLayer()])
+        session = channel.sessions[0]
+        handle = session.set_backoff_timer(1.0, tag="probe")
+        clock.advance(1.5)
+        assert len(session.fired) == 1
+        handle.cancel()
+        clock.advance(50.0)
+        assert len(session.fired) == 1
+        assert clock.pending == 0
+
+    def test_handler_cancel_prevents_rearm(self, kernel, clock):
+        class _CancellingSession(_TimerSession):
+            def handle(self, event):
+                super().handle(event)
+                if isinstance(event, TimerEvent):
+                    self.handle_to_cancel.cancel()
+
+        class _CancellingLayer(_TimerLayer):
+            session_class = _CancellingSession
+
+        channel = build_channel(kernel, [_CancellingLayer()])
+        session = channel.sessions[0]
+        session.handle_to_cancel = session.set_backoff_timer(1.0, tag="probe")
+        clock.advance(30.0)
+        assert len(session.fired) == 1
+        assert clock.pending == 0
+
+    def test_channel_close_stops_backoff(self, kernel, clock):
+        channel = build_channel(kernel, [_TimerLayer()])
+        session = channel.sessions[0]
+        session.set_backoff_timer(1.0, tag="probe")
+        clock.advance(1.5)
+        fired_before = len(session.fired)
+        channel.close()
+        clock.advance(50.0)
+        assert len(session.fired) == fired_before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffTimerEvent("bad", interval=0.0)
+        with pytest.raises(ValueError):
+            BackoffTimerEvent("bad", interval=1.0, factor=0.5)
+        with pytest.raises(ValueError):
+            # A zero cap would rearm at the same instant forever.
+            BackoffTimerEvent("bad", interval=1.0, max_interval=0.0)
 
 
 class TestManualClock:

@@ -141,9 +141,14 @@ class TestPartitionMerge:
         engine.run_until(1.0)
         network.crash_node("c")
         engine.run_until(120.0)
-        probes = membership_of(channels["a"])._lost_peers
+        membership = membership_of(channels["a"])
+        probes = membership._lost_peers
         assert set(probes) == {"c"}
-        assert probes["c"].interval == _PROBE_MAX_TICKS
+        # The per-peer backoff one-shot carries the live interval; at
+        # steady state it has saturated at the cap.
+        timer = probes["c"].event
+        assert timer.interval == _PROBE_MAX_TICKS * membership.retry_interval
+        assert not probes["c"].cancelled
 
 
 class TestDeliberateDepartures:

@@ -123,12 +123,12 @@ class TestDeterminism:
 
 
 class TestPendingCounter:
-    """``pending`` is a live counter (O(1)), not a heap scan; it must stay
+    """``pending`` is a live counter (O(1)), not a queue scan; it must stay
     exact through any interleaving of scheduling, firing and cancellation."""
 
     @staticmethod
     def _heap_scan(engine: SimEngine) -> int:
-        return sum(1 for entry in engine._heap if not entry.cancelled)
+        return len(engine._scan_live())
 
     def test_counts_push_fire_cancel(self):
         engine = SimEngine()

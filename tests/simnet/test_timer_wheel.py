@@ -1,0 +1,248 @@
+"""Timer-wheel scheduling edge cases and wheel-vs-heap equivalence.
+
+The wheel (:class:`SimEngine`) must be observably identical to the
+reference heap scheduler (:class:`HeapSimEngine`): same firing order, same
+``pending`` accounting, same validation.  These tests target the places
+where a bucketed implementation could diverge — entries migrating between
+the overflow heap, the wheel and the current batch; same-slot ordering;
+and cancellation at every stage of that migration.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simnet.engine import (SLOT_WIDTH_S, WHEEL_SLOTS, HeapSimEngine,
+                                 SimEngine)
+
+HORIZON_S = SLOT_WIDTH_S * WHEEL_SLOTS
+
+
+class TestOverflowPromotion:
+    def test_far_future_entry_takes_the_overflow_heap(self):
+        engine = SimEngine()
+        engine.call_later(HORIZON_S * 3, lambda: None)
+        assert engine.overflow_scheduled == 1
+        assert engine.pending == 1
+
+    def test_near_future_entry_does_not(self):
+        engine = SimEngine()
+        engine.call_later(HORIZON_S / 2, lambda: None)
+        assert engine.overflow_scheduled == 0
+
+    def test_overflow_entry_fires_at_exact_time(self):
+        engine = SimEngine()
+        fired = []
+        when = HORIZON_S * 2.5
+        engine.call_at(when, lambda: fired.append(engine.now()))
+        engine.run_until_idle()
+        assert fired == [when]
+
+    def test_overflow_and_wheel_interleave_in_time_order(self):
+        engine = SimEngine()
+        fired = []
+        engine.call_at(HORIZON_S * 1.5, lambda: fired.append("far"))
+        engine.call_at(1.0, lambda: fired.append("near"))
+
+        def reschedule_near():
+            fired.append("mid")
+            # From t=1.0 the far entry is now within the horizon of a
+            # fresh schedule, but it must stay correctly ordered.
+            engine.call_later(0.5, lambda: fired.append("mid2"))
+
+        engine.call_at(1.0 + SLOT_WIDTH_S / 7, reschedule_near)
+        engine.run_until_idle()
+        assert fired == ["near", "mid", "mid2", "far"]
+
+    def test_promoted_entry_keeps_same_instant_fifo_with_wheel_entry(self):
+        engine = SimEngine()
+        fired = []
+        when = HORIZON_S * 2  # overflow at schedule time
+        engine.call_at(when, lambda: fired.append("overflow-first"))
+        engine.run_until(when - 1.0)  # drag the cursor near the entry
+        engine.call_at(when, lambda: fired.append("wheel-second"))
+        engine.run_until_idle()
+        assert fired == ["overflow-first", "wheel-second"]
+
+
+class TestCancelAcrossMigration:
+    """Cancellation must hold wherever the entry currently lives."""
+
+    def test_cancel_while_in_overflow(self):
+        engine = SimEngine()
+        fired = []
+        handle = engine.call_at(HORIZON_S * 2, lambda: fired.append(1))
+        handle.cancel()
+        assert engine.pending == 0
+        engine.run_until_idle()
+        assert fired == []
+
+    def test_cancel_after_promotion_to_wheel_window(self):
+        engine = SimEngine()
+        fired = []
+        when = HORIZON_S * 2
+        handle = engine.call_at(when, lambda: fired.append(1))
+        engine.call_at(when - 0.5, lambda: handle.cancel())
+        engine.run_until_idle()
+        assert fired == []
+        assert engine.pending == 0
+
+    def test_cancel_from_same_slot_callback(self):
+        # Both entries land in one slot; the first callback cancels the
+        # second after the slot batch has already been loaded.
+        engine = SimEngine()
+        fired = []
+        engine.call_at(1.0, lambda: handle.cancel())
+        handle = engine.call_at(1.0 + SLOT_WIDTH_S / 3,
+                                lambda: fired.append("late"))
+        engine.run_until_idle()
+        assert fired == []
+        assert engine.pending == 0
+
+    def test_cancel_fired_entry_is_noop(self):
+        engine = SimEngine()
+        handle = engine.call_later(0.25, lambda: None)
+        engine.run_until_idle()
+        handle.cancel()
+        assert engine.pending == 0
+
+
+class TestSameSlotOrdering:
+    def test_sub_slot_times_fire_in_time_order(self):
+        engine = SimEngine()
+        fired = []
+        # All in one slot, scheduled in reverse time order.
+        base = 5.0
+        offsets = [SLOT_WIDTH_S * k / 10 for k in range(9, -1, -1)]
+        for offset in offsets:
+            engine.call_at(base + offset,
+                           lambda o=offset: fired.append(round(o, 9)))
+        engine.run_until_idle()
+        assert fired == sorted(round(o, 9) for o in offsets)
+
+    def test_same_instant_fifo_within_slot(self):
+        engine = SimEngine()
+        fired = []
+        for index in range(20):
+            engine.call_at(3.0, lambda i=index: fired.append(i))
+        engine.run_until_idle()
+        assert fired == list(range(20))
+
+    def test_zero_delay_insertion_joins_the_live_batch(self):
+        # A callback scheduling at delay 0 runs within the same instant,
+        # before later entries of the same slot.
+        engine = SimEngine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.call_later(0.0, lambda: fired.append("nested"))
+
+        engine.call_at(1.0, first)
+        engine.call_at(1.0 + SLOT_WIDTH_S / 2, lambda: fired.append("later"))
+        engine.run_until_idle()
+        assert fired == ["first", "nested", "later"]
+
+
+class TestRunUntilMidSlot:
+    def test_deadline_splits_a_slot(self):
+        engine = SimEngine()
+        fired = []
+        engine.call_at(1.0 + SLOT_WIDTH_S * 0.2, lambda: fired.append("a"))
+        engine.call_at(1.0 + SLOT_WIDTH_S * 0.8, lambda: fired.append("b"))
+        engine.run_until(1.0 + SLOT_WIDTH_S * 0.5)
+        assert fired == ["a"]
+        assert engine.pending == 1
+        engine.run_until_idle()
+        assert fired == ["a", "b"]
+
+    def test_schedule_after_deadline_behind_loaded_batch(self):
+        # run_until leaves the next slot's batch loaded; a later schedule
+        # due *before* that batch head must still fire first.
+        engine = SimEngine()
+        fired = []
+        engine.call_at(2.0, lambda: fired.append("loaded"))
+        engine.run_until(1.9)
+        engine.call_at(1.95, lambda: fired.append("squeezed"))
+        engine.run_until_idle()
+        assert fired == ["squeezed", "loaded"]
+
+
+class TestPendingExactness:
+    """``pending`` stays exact across schedule/fire/cancel through every
+    structure (batch, wheel, overflow) — compared against a full scan."""
+
+    def test_exact_across_random_interleaving(self):
+        rng = random.Random(11)
+        engine = SimEngine()
+        handles = []
+        for _ in range(400):
+            action = rng.random()
+            if action < 0.55 or not handles:
+                # Spread delays across batch/wheel/overflow ranges.
+                delay = rng.choice(
+                    (0.0, rng.random() * SLOT_WIDTH_S,
+                     rng.random() * HORIZON_S,
+                     HORIZON_S * (1.0 + rng.random() * 3)))
+                handles.append(engine.call_later(delay, lambda: None))
+            elif action < 0.8:
+                handles.pop(rng.randrange(len(handles))).cancel()
+            else:
+                engine.step()
+            assert engine.pending == len(engine._scan_live())
+        engine.run_until_idle()
+        assert engine.pending == 0
+
+
+class TestWheelHeapEquivalence:
+    """Differential check: identical firing logs on random schedules."""
+
+    @staticmethod
+    def _drive(engine_cls, seed: int) -> list[tuple[float, int]]:
+        rng = random.Random(seed)
+        engine = engine_cls()
+        log: list[tuple[float, int]] = []
+        handles = []
+        serial = 0
+
+        def record(index: int) -> None:
+            log.append((engine.now(), index))
+
+        def nested(index: int) -> None:
+            record(index)
+            engine.call_later(rng.random() * 2, lambda: record(index + 1000))
+
+        for _ in range(300):
+            roll = rng.random()
+            if roll < 0.6 or not handles:
+                delay = rng.choice(
+                    (0.0, rng.random() * 0.01, rng.random(),
+                     rng.random() * 20, rng.random() * 40))
+                serial += 1
+                callback = nested if rng.random() < 0.3 else record
+                handles.append(
+                    engine.call_later(delay, lambda s=serial, c=callback: c(s)))
+            elif roll < 0.75:
+                handles.pop(rng.randrange(len(handles))).cancel()
+            elif roll < 0.9:
+                engine.step()
+            else:
+                engine.run_until(engine.now() + rng.random() * 5)
+        engine.run_until_idle()
+        return log
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_identical_firing_logs(self, seed):
+        assert self._drive(SimEngine, seed) == self._drive(HeapSimEngine, seed)
+
+    def test_identical_validation(self):
+        for engine_cls in (SimEngine, HeapSimEngine):
+            engine = engine_cls()
+            with pytest.raises(ValueError):
+                engine.call_later(-0.1, lambda: None)
+            engine.call_later(1.0, lambda: None)
+            engine.run_until_idle()
+            with pytest.raises(ValueError):
+                engine.call_at(0.5, lambda: None)

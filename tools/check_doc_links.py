@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo links in the documentation set.
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links and verifies
+that every relative target resolves to an existing file (or directory)
+inside the repository.  External links (``http(s)://``, ``mailto:``) and
+pure in-page anchors are skipped; a ``#fragment`` on a relative link is
+stripped before the existence check.
+
+Run from anywhere::
+
+    python tools/check_doc_links.py
+
+Exit status 0 when every link resolves, 1 otherwise (one line per broken
+link, ``file:line: target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links: ``[text](target)``.  Deliberately simple — the
+#: docs use no reference-style links, no angle-bracket targets.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def broken_links(path: Path) -> list[tuple[int, str]]:
+    broken = []
+    for line_number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            if target.startswith("#"):
+                continue  # in-page anchor
+            relative = target.split("#", 1)[0]
+            resolved = (path.parent / relative).resolve()
+            if not str(resolved).startswith(str(REPO_ROOT)):
+                broken.append((line_number, f"{target} (escapes the repo)"))
+            elif not resolved.exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main() -> int:
+    files = doc_files()
+    failures = 0
+    for path in files:
+        for line_number, target in broken_links(path):
+            print(f"{path.relative_to(REPO_ROOT)}:{line_number}: "
+                  f"broken link -> {target}")
+            failures += 1
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in files)
+    if failures:
+        print(f"{failures} broken link(s) across {checked}", file=sys.stderr)
+        return 1
+    print(f"all intra-repo links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
