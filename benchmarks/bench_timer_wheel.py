@@ -33,11 +33,18 @@ import time
 from typing import Optional
 
 from repro.scenarios.library import canned
-from repro.scenarios.runner import run_scenario
+from repro.scenarios.runner import ScenarioRunner, run_scenario
 from repro.simnet.engine import HeapSimEngine, SimEngine
 
 FULL_SIZES = (10, 30, 60, 100)
 SMOKE_SIZES = (10,)
+IDLE_EXTENSION_S = 30.0
+#: Regression gate for the arm-on-demand GC-timer conversion (frag/fec/
+#: mecho): the settled churn group costs ≈4.1 timer dispatches per node
+#: per second (heartbeats on two channels + context beats + the mecho
+#: relay deadline); the periodic sweeps it replaced put it at ≈4.8.
+#: Virtual-time deterministic, so a tight ceiling is safe in CI.
+IDLE_DISPATCH_CEILING_PER_NODE_S = 4.5
 
 ENGINES = {"wheel": SimEngine, "heap": HeapSimEngine}
 
@@ -128,6 +135,56 @@ def bench_churn(sizes: tuple[int, ...], seed: int = 0) -> list[dict]:
     return rows
 
 
+# -- idle-phase timer load ----------------------------------------------------
+
+def bench_idle(sizes: tuple[int, ...], seed: int = 0,
+               idle_s: float = IDLE_EXTENSION_S) -> list[dict]:
+    """Kernel timer dispatches while the group is *settled*.
+
+    Runs the churn storm to its horizon, then keeps the engine running
+    for ``idle_s`` more virtual seconds with no workload and no topology
+    events: whatever still fires is pure background cost — heartbeats,
+    context publish/evaluate beats, and (before the arm-on-demand
+    conversion of frag's reassembly sweep, fec's give-up sweep and
+    mecho's relay-timeout check) GC timers ticking over empty tables.
+    Reported as dispatches per idle second, total and per node.
+    """
+    rows = []
+    for nodes in sizes:
+        scenario = canned("churn_storm", members=nodes)
+        runner = ScenarioRunner(scenario, seed=seed)
+        runner.run()
+        timers_before = sum(node.node.kernel.timer_dispatched_count
+                            for node in runner.morpheus.values())
+        events_before = runner.engine.fired_count
+        runner.engine.run_until(scenario.duration_s + idle_s)
+        timer_dispatches = sum(
+            node.node.kernel.timer_dispatched_count
+            for node in runner.morpheus.values()) - timers_before
+        live = sum(1 for node in runner.morpheus.values() if node.node.alive)
+        rows.append({
+            "nodes": nodes,
+            "live_nodes": live,
+            "idle_s": idle_s,
+            "idle_timer_dispatches": timer_dispatches,
+            "idle_engine_events": runner.engine.fired_count - events_before,
+            "timer_dispatches_per_s": round(timer_dispatches / idle_s, 2),
+            "timer_dispatches_per_node_s": round(
+                timer_dispatches / idle_s / max(live, 1), 2),
+        })
+        print(f"  idle n={nodes}: {timer_dispatches} timer dispatches in "
+              f"{idle_s:.0f}s of quiet "
+              f"({rows[-1]['timer_dispatches_per_node_s']}/node/s)",
+              file=sys.stderr)
+        assert rows[-1]["timer_dispatches_per_node_s"] <= \
+            IDLE_DISPATCH_CEILING_PER_NODE_S, (
+                f"idle timer load regressed at n={nodes}: "
+                f"{rows[-1]['timer_dispatches_per_node_s']}/node/s > "
+                f"{IDLE_DISPATCH_CEILING_PER_NODE_S} — a GC sweep is "
+                "ticking while its table is empty again?")
+    return rows
+
+
 # -- wheel/heap parity -------------------------------------------------------
 
 def bench_parity(nodes: int, seed: int = 0) -> dict:
@@ -187,6 +244,8 @@ def main(argv: Optional[list[str]] = None) -> dict:
     if not args.skip_churn:
         print(f"churn sweep over {sizes}", file=sys.stderr)
         report["churn"] = bench_churn(sizes, seed=args.seed)
+        print(f"idle-phase timer load over {sizes}", file=sys.stderr)
+        report["idle"] = bench_idle(sizes, seed=args.seed)
     if not args.skip_parity:
         print(f"wheel/heap parity at n={parity_nodes}", file=sys.stderr)
         report["parity"] = bench_parity(parity_nodes, seed=args.seed)

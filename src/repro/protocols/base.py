@@ -85,6 +85,30 @@ class GroupSession(Session):
 
     # -- helpers ---------------------------------------------------------------------
 
+    def arm_on_demand(self, handle, interval: float, tag: Any, channel):
+        """Return a live rearm-on-fire one-shot loop handle.
+
+        The shared half of the arm-on-demand timer pattern (reliable's
+        gap scan, frag's reassembly sweep, fec's give-up sweep): hand the
+        current handle back if it is still live, else arm a fresh
+        constant-interval one-shot.  A *cancelled* handle counts as idle
+        — channel teardown cancels every live timer, so a session re-used
+        after a reconfiguration must be able to re-arm on its new
+        channel.  The caller's fire handler decides per fire whether the
+        loop continues (stop with :meth:`stop_timer`).
+        """
+        if handle is None or handle.cancelled:
+            handle = self.set_backoff_timer(interval, tag=tag, factor=1.0,
+                                            channel=channel)
+        return handle
+
+    @staticmethod
+    def stop_timer(handle):
+        """Cancel ``handle`` (if live) and return the cleared slot."""
+        if handle is not None:
+            handle.cancel()
+        return None
+
     def others(self) -> tuple[str, ...]:
         """Current members excluding this node."""
         return tuple(member for member in self.members if member != self.local)

@@ -18,7 +18,7 @@ gossip) translates it into transmissions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.kernel.events import Event, SendableEvent
@@ -35,11 +35,22 @@ class View:
     identifier order — the paper notes the election *"can be trivially
     derived from the properties of the underlying group membership
     service"*.
+
+    ``stamp`` is the installation's provenance — ``(announcer,
+    incarnation)`` of the coordinator that announced it, or ``None`` for a
+    bootstrap self-install.  Divergent lineages can burn through the same
+    ``view_id`` independently (a zombie churning alone, a reconfiguration
+    racing a suspicion flush), so the id alone does not identify a view
+    instance; the stamp disambiguates, and the reliable layer folds it
+    into its sequencing epoch.  Excluded from comparisons: two members of
+    the same agreed view compare equal regardless of how each learned of
+    it.
     """
 
     group: str
     view_id: int
     members: tuple[str, ...]
+    stamp: Optional[tuple[str, int]] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         ordered = tuple(sorted(self.members))

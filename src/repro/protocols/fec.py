@@ -85,7 +85,7 @@ class FecSession(GroupSession):
         self._blocks: dict[tuple[str, int], _BlockState] = {}
         #: Foreign-framed packets dropped (generation skew diagnostics).
         self.foreign_dropped = 0
-        self._timer_armed = False
+        self._sweep_handle = None
         #: Diagnostics for the crossover bench.
         self.recovered_count = 0
         self.given_up = 0
@@ -93,16 +93,29 @@ class FecSession(GroupSession):
     # -- lifecycle -----------------------------------------------------------
 
     def on_channel_init(self, event: Event) -> None:
-        if not self._timer_armed:
-            self.set_periodic_timer(max(self.giveup_timeout / 2, 0.1),
-                                    tag=_SWEEP_TIMER, channel=event.channel)
-            self._timer_armed = True
+        """Deliberately arms nothing.
+
+        The give-up sweep is armed on demand — on the first receiver-side
+        block — and stops itself once every block is resolved (the
+        reliable-layer pattern), so an idle channel costs zero timer
+        events.  The seed revision ticked every ``giveup_timeout/2`` for
+        the channel's lifetime regardless of traffic.
+        """
+
+    def _ensure_sweep(self, channel) -> None:
+        self._sweep_handle = self.arm_on_demand(
+            self._sweep_handle, max(self.giveup_timeout / 2, 0.1),
+            _SWEEP_TIMER, channel)
+
+    def _stop_sweep(self) -> None:
+        self._sweep_handle = self.stop_timer(self._sweep_handle)
 
     def on_view(self, event: ViewEvent) -> None:
         self._blocks.clear()
         self._outgoing.clear()
         self._block_id = 0
         self._position = 0
+        self._stop_sweep()  # receiver state gone; re-armed on next block
 
     # -- dispatch --------------------------------------------------------------
 
@@ -110,6 +123,8 @@ class FecSession(GroupSession):
         if isinstance(event, TimerEvent):
             if event.tag == _SWEEP_TIMER:
                 self._sweep(event.channel)
+                if not self._blocks:
+                    self._stop_sweep()
             return
         if isinstance(event, ApplicationMessage):
             if event.direction is Direction.DOWN and self.is_group_dest(event):
@@ -161,6 +176,7 @@ class FecSession(GroupSession):
         if state is None:
             state = _BlockState(first_seen=channel.kernel.clock.now())
             self._blocks[key] = state
+            self._ensure_sweep(channel)  # first live block
         return state
 
     def _incoming_data(self, event: ApplicationMessage) -> None:

@@ -54,22 +54,37 @@ class FragmentationSession(GroupSession):
             raise ValueError(f"mtu too small: {self.mtu}")
         self._counter = 0
         self._buffers: dict[tuple[str, int], _Reassembly] = {}
-        self._timer_armed = False
+        self._sweep_handle = None
         #: Diagnostics.
         self.fragmented_count = 0
         self.reassembled_count = 0
         self.expired_count = 0
 
     def on_channel_init(self, event: Event) -> None:
-        if not self._timer_armed:
-            self.set_periodic_timer(max(self.reassembly_timeout / 2, 0.5),
-                                    tag=_SWEEP_TIMER, channel=event.channel)
-            self._timer_armed = True
+        """Deliberately arms nothing.
+
+        The reassembly sweep is armed on demand — on the first incomplete
+        reassembly — and stops itself once the table drains (the
+        reliable-layer pattern), so an idle channel costs zero timer
+        events.  The seed revision ticked every ``reassembly_timeout/2``
+        for the channel's lifetime whether or not any fragment was ever
+        in flight.
+        """
+
+    def _ensure_sweep(self, channel) -> None:
+        self._sweep_handle = self.arm_on_demand(
+            self._sweep_handle, max(self.reassembly_timeout / 2, 0.5),
+            _SWEEP_TIMER, channel)
+
+    def _stop_sweep(self) -> None:
+        self._sweep_handle = self.stop_timer(self._sweep_handle)
 
     def on_event(self, event: Event) -> None:
         if isinstance(event, TimerEvent):
             if event.tag == _SWEEP_TIMER:
                 self._sweep(event.channel)
+                if not self._buffers:
+                    self._stop_sweep()
             return
         if isinstance(event, FragmentEvent):
             if event.direction is Direction.UP:
@@ -117,6 +132,7 @@ class FragmentationSession(GroupSession):
             buffer = _Reassembly(total=payload["total"],
                                  first_seen=event.channel.kernel.clock.now())
             self._buffers[key] = buffer
+            self._ensure_sweep(event.channel)  # first live reassembly
         buffer.chunks[payload["index"]] = payload["chunk"]
         if len(buffer.chunks) < buffer.total:
             return

@@ -70,7 +70,7 @@ class MechoSession(GroupSession):
         self.relay_timeout: float = float(
             layer.params.get("relay_timeout", 4.0))
         self._relay_heard = 0.0
-        self._probe_armed = False
+        self._probe_handle = None
         #: Foreign-framed packets dropped (generation skew diagnostics).
         self.foreign_dropped = 0
 
@@ -88,21 +88,41 @@ class MechoSession(GroupSession):
 
     def on_channel_init(self, event: Event) -> None:
         if self.mode == MODE_WIRELESS and self.relay and \
-                self.relay != self.local and not self._probe_armed:
+                self.relay != self.local:
             self._relay_heard = event.channel.kernel.clock.now()
-            self.set_periodic_timer(max(self.relay_timeout / 4, 0.1),
-                                    tag=_RELAY_PROBE_TIMER,
-                                    channel=event.channel)
-            self._probe_armed = True
+            self._arm_probe(event.channel)
+
+    def _arm_probe(self, channel, delay: Optional[float] = None) -> None:
+        """Schedule the silence check as a one-shot at the deadline.
+
+        The seed revision ticked every ``relay_timeout/4`` for the
+        channel's lifetime; scheduling straight at ``_relay_heard +
+        relay_timeout`` (and re-arming at the *remaining* silence when
+        relayed traffic moved the deadline) costs ~1 timer event per
+        timeout window instead of 4, and stops entirely once the relay is
+        suspected — the check re-arms when an ``UnsuspectEvent`` clears
+        the relay.
+        """
+        if self._probe_handle is not None:
+            self._probe_handle.cancel()
+        self._probe_handle = self.set_timer(
+            delay if delay is not None else self.relay_timeout,
+            tag=_RELAY_PROBE_TIMER, channel=channel)
 
     def _probe_relay(self, channel) -> None:
-        if self.relay is None or self.relay in self.suspected:
-            return
+        self._probe_handle = None
+        if self.relay is None or self.relay in self.suspected or \
+                self.mode != MODE_WIRELESS or self.relay == self.local:
+            return  # dormant until the relay is (re-)trusted
         now = channel.kernel.clock.now()
-        if now - self._relay_heard > self.relay_timeout:
+        silence = now - self._relay_heard
+        if silence > self.relay_timeout:
             self.suspected.add(self.relay)
             self.send_up(PathChangedEvent(), channel=channel)
             self.send_up(SuspectEvent(self.relay), channel=channel)
+            return  # fall-back engaged; no further checks needed
+        # Relayed traffic moved the deadline: sleep out the remainder.
+        self._arm_probe(channel, self.relay_timeout - silence + 1e-9)
 
     def on_event(self, event: Event) -> None:
         if isinstance(event, TimerEvent):
@@ -125,6 +145,7 @@ class MechoSession(GroupSession):
                     self.mode == MODE_WIRELESS and event.member == self.relay:
                 self._relay_heard = event.channel.kernel.clock.now()
                 self.send_up(PathChangedEvent(), channel=event.channel)
+                self._arm_probe(event.channel)  # relay trusted again
             self.suspected.discard(event.member)
             return
         if not isinstance(event, GroupSendableEvent):

@@ -51,6 +51,48 @@ Dynamic membership growth (the scenario subsystem's join/rejoin path):
   (leaves, explicit exclusions) are remembered in a ``banned`` set carried
   on every installation, so a departed node's lingering beacons do not
   resurrect it; an explicit ``join_req`` lifts the ban.
+
+Incarnation numbering (zombie-coordinator hardening):
+
+A crashed node's state machine keeps running blind — timers fire, its own
+loopback completes singleton flushes — so a recovered "zombie" comes back
+with a privately advanced view lineage and, when it is the lowest id of
+its stale view, believes itself the acting coordinator.  The installed-
+view history (PR 2) rejects exact replays, but the zombie can still
+*absorb* live members into its stale lineage through admission flushes it
+completes alone, stranding every member it never knew about.  The fix is
+an **incarnation number** on view installations:
+
+* each session counts the flushes it has announced that at least one
+  *other* member acknowledged (``self.incarnation``).  A zombie flushing
+  alone can never advance it;
+* every ``flush_req``/``flush_cut``/``view_install`` carries the
+  incarnation its installation runs under, and installs additionally name
+  the original announcer in a ``stamp`` (replays must preserve the stamp
+  the group installed);
+* peers remember the highest incarnation seen per coordinator
+  (``_coord_history``) — recorded when *engaging* with a flush, so a
+  diverged replay of an install whose flush this node acked is already
+  stale — and floor it at 0 for every peer they exclude;
+* an install or flush request from an announcer **outside the receiver's
+  current view** is rejected unless its incarnation is strictly newer
+  than the receiver's history for that announcer (a multi-member view is
+  never handed to a stale lineage; a singleton accepts any merge — it has
+  nothing to lose and someone must move first);
+* the lost-peer probe's merge-direction deference applies the same test:
+  a ``join_req`` claiming an acting coordinator whose incarnation is not
+  newer than the receiver's history is a zombie's claim, and the receiver
+  admits the prober instead of deferring to it.
+
+The stamp also rides the :class:`View` handed to the layers below, so the
+reliable layer's sequencing epoch distinguishes same-id views of
+divergent lineages (epoch reuse after a readmission used to re-deliver an
+entire view's traffic to the application).
+
+Finally, a non-coordinator that receives a ``join_req`` forwards it (one
+hop) to its acting coordinator: a recovered singleton only knows the
+peers of its stale view, and the acting coordinator — possibly admitted
+while the prober was dead — may otherwise never learn of it.
 """
 
 from __future__ import annotations
@@ -160,6 +202,23 @@ class MembershipSession(GroupSession):
         #: resurrection (a zombie answering probes), never a genuine merge
         #: — a real merge view carries a new id or a new membership.
         self._installed_history: set[tuple[int, tuple[str, ...]]] = set()
+        #: Ordered install timeline ``(time, view_id, members, departed)``
+        #: — diagnostics for tests and the fuzzer's ejection invariant.
+        self.install_log: list[tuple[float, int, tuple[str, ...],
+                                     tuple[str, ...]]] = []
+        #: Count of flushes this node announced that at least one *other*
+        #: member acked — its coordinatorship incarnation.  See the module
+        #: docstring: a zombie churning alone can never advance it.
+        self.incarnation = 0
+        #: Highest incarnation seen per coordinator (floored at 0 when a
+        #: peer is excluded), the "history" stale lineages are checked
+        #: against.
+        self._coord_history: dict[str, int] = {}
+        #: Stamp ``(announcer, incarnation)`` of the currently installed
+        #: view — replayed verbatim when re-answering a lost install.
+        self._view_stamp: Optional[tuple[str, int]] = None
+        #: Incarnation the in-progress flush's installation will carry.
+        self._target_incarnation = 0
         #: Called with the held view when a hold-flush completes (Core hook).
         self.quiescence_listener: Optional[Callable[[View], None]] = None
 
@@ -292,13 +351,21 @@ class MembershipSession(GroupSession):
         # The request carries this side's acting coordinator (None for a
         # fresh joiner): two established views merging must agree on a
         # direction, and the rule is that the side with the lowest
-        # coordinator id absorbs the other (see _on_join_request).
+        # coordinator id absorbs the other (see _on_join_request).  The
+        # claimed coordinator's incarnation rides along so the receiver
+        # can tell a live lineage's claim from a zombie's.
         coordinator = self._flush_coordinator() if self.view is not None \
             else None
+        incarnation = 0
+        if coordinator == self.local:
+            incarnation = self.incarnation
+        elif coordinator is not None:
+            incarnation = self._coord_history.get(coordinator, 0)
         request = self.control_message(
             MembershipMessage,
             {"kind": "join_req", "from": self.local,
-             "coordinator": coordinator},
+             "coordinator": coordinator,
+             "coordinator_incarnation": incarnation},
             dest=dest, source=self.local)
         self.send_down(request, channel=channel)
 
@@ -334,6 +401,12 @@ class MembershipSession(GroupSession):
             if self._install_announced:
                 self._broadcast_install(channel)
             elif self._cut is not None:
+                # Re-send the request alongside the cut: a member whose
+                # flush context was reset after acking (a crossing install
+                # of the previous view, a late catch-up through
+                # _answer_if_stale) ignores a bare cut — only a fresh
+                # flush_req re-enrolls it.
+                self._broadcast_flush_req(channel)
                 self._broadcast_cut(channel)
             else:
                 self._broadcast_flush_req(channel)
@@ -387,6 +460,38 @@ class MembershipSession(GroupSession):
         if handle is not None:
             handle.cancel()
 
+    # -- incarnation bookkeeping --------------------------------------------
+
+    def _note_incarnation(self, peer: Optional[str], incarnation) -> None:
+        """Record the highest coordinatorship incarnation seen from
+        ``peer`` (from flush requests, cuts and installs)."""
+        if peer is None or not isinstance(incarnation, int):
+            return
+        if incarnation > self._coord_history.get(peer, -1):
+            self._coord_history[peer] = incarnation
+
+    def _accepts_foreign(self, announcer: Optional[str],
+                         incarnation) -> bool:
+        """May an install/flush from a coordinator *outside the current
+        view* take this node over?
+
+        Yes when the announcer's claimed incarnation is strictly newer
+        than everything recorded for it (a live lineage making progress),
+        when the announcer was never seen coordinating (first contact —
+        fresh joiners and unknown lineages), or when this node's own view
+        is a singleton (a lone node accepts any merge: it has nothing to
+        lose, and two mutually-stale singletons must not deadlock).  No —
+        meaning the claim replays a lineage already known to be stale
+        (the zombie acting-coordinator window) — otherwise.
+        """
+        known = self._coord_history.get(announcer) \
+            if announcer is not None else None
+        if known is None:
+            return True
+        if isinstance(incarnation, int) and incarnation > known:
+            return True
+        return self.view is not None and len(self.view.members) <= 1
+
     # -- suspicion / triggers ---------------------------------------------------------
 
     def _on_suspect(self, event: SuspectEvent) -> None:
@@ -410,15 +515,28 @@ class MembershipSession(GroupSession):
     def _on_stranger(self, event: StrangerEvent) -> None:
         """A live node outside the view: re-admit unless it departed on
         purpose (recovered members and healed partitions come back this
-        way; leavers and deliberate exclusions stay out)."""
+        way; leavers and deliberate exclusions stay out).
+
+        A non-coordinator relays the sighting to its acting coordinator
+        as a ``join_req`` on the stranger's behalf: the coordinator may
+        sit outside the stranger's (stale) fan-out and would otherwise
+        never learn of it — a recovered zombie whose fantasy view already
+        contains this node beacons only here, answers probes with its
+        stale installs, and stalls forever unless somebody who *can* act
+        hears about it.
+        """
         member = event.member
         if self.view is None or self.view.includes(member) or \
                 member in self.banned:
             return
         self.pending_joiners.add(member)
-        if self._flush_coordinator() == self.local and \
-                self.phase is _Phase.STABLE:
-            self._start_flush(hold=False, channel=event.channel)
+        if self._flush_coordinator() == self.local:
+            if self.phase is _Phase.STABLE:
+                self._start_flush(hold=False, channel=event.channel)
+        else:
+            self._forward_join_req(
+                {"kind": "join_req", "from": member, "coordinator": None},
+                event.channel)
 
     def _on_trigger(self, event: TriggerViewChangeEvent) -> None:
         """Core's entry point; only the acting coordinator initiates."""
@@ -454,6 +572,22 @@ class MembershipSession(GroupSession):
             return
         self._target_view = proposed
         self._target_hold = hold
+        # The incarnation this flush's installation will carry: advanced
+        # only when another member will acknowledge the flush — a node
+        # flushing alone (a zombie, an isolated singleton) keeps replaying
+        # its current incarnation, which is exactly what lets its
+        # ex-peers recognize the lineage as stale.
+        participants = set(self.view.members) & set(proposed.members)
+        self._target_incarnation = self.incarnation + 1 \
+            if participants - {self.local} else self.incarnation
+        if self.phase is not _Phase.HELD:
+            # A restart mid-flush must re-enter the coordinator's *member*
+            # side too: with the phase left at a later stage, the fresh
+            # flush_req's loopback is deduplicated against the very target
+            # it just set and this node never re-acks itself — the flush
+            # wedges with every other participant waiting on it.
+            self.phase = _Phase.STABLE
+            self._last_status = None
         self._acks = {}
         self._cut_acks = set()
         self._cut = None
@@ -471,7 +605,8 @@ class MembershipSession(GroupSession):
             MembershipMessage,
             {"kind": "flush_req", "new_view_id": self._target_view.view_id,
              "members": list(self._target_view.members),
-             "hold": self._target_hold, "from": self.local},
+             "hold": self._target_hold, "from": self.local,
+             "incarnation": self._target_incarnation},
             dest=GROUP_DEST, source=self.local)
         self.send_down(req, channel=channel)
 
@@ -513,7 +648,7 @@ class MembershipSession(GroupSession):
             {"kind": "flush_cut", "new_view_id": self._target_view.view_id,
              "members": list(self._target_view.members),
              "cut": dict(self._cut), "hold": self._target_hold,
-             "from": self.local},
+             "from": self.local, "incarnation": self._target_incarnation},
             dest=GROUP_DEST, source=self.local)
         self.send_down(message, channel=channel)
 
@@ -536,12 +671,17 @@ class MembershipSession(GroupSession):
             departed = sorted(
                 (self.pending_leavers | self._deliberate_excludes) &
                 (old - target))
+            # Announcing commits the flush's incarnation; the stamp names
+            # this node so replays by later coordinators stay verbatim.
+            self.incarnation = max(self.incarnation,
+                                   self._target_incarnation)
             payload = {"kind": "view_install",
                        "new_view_id": self._target_view.view_id,
                        "members": list(self._target_view.members),
                        "joiners": sorted(target - old),
                        "departed": departed,
-                       "hold": self._target_hold, "from": self.local}
+                       "hold": self._target_hold, "from": self.local,
+                       "stamp": [self.local, self._target_incarnation]}
             self._last_install_payload = payload
         elif self._last_install_payload is not None:
             payload = dict(self._last_install_payload)
@@ -560,12 +700,22 @@ class MembershipSession(GroupSession):
             self.send_down(message, channel=channel)
 
     def _answer_if_stale(self, payload: dict, channel) -> bool:
-        """Re-unicast the installation to members stuck in an old flush."""
+        """Re-unicast the installation to members stuck in an old flush.
+
+        Replays the *stored* payload verbatim — never one rebuilt from an
+        in-progress target: answering a stale ack while the next flush is
+        running used to hand the straggler a not-yet-agreed view, which a
+        freshly excluded member would happily install (observed as a
+        member stranded on a view the group never formed).
+        """
         last = self._last_install_payload
         if last is not None and payload["new_view_id"] == last["new_view_id"] \
                 and (self._target_view is None or
                      self._target_view.view_id != payload["new_view_id"]):
-            self._broadcast_install(channel, unicast_to=payload["from"])
+            message = self.control_message(MembershipMessage, dict(last),
+                                           dest=payload["from"],
+                                           source=self.local)
+            self.send_down(message, channel=channel)
             return True
         return False
 
@@ -595,19 +745,26 @@ class MembershipSession(GroupSession):
                     self.phase is _Phase.STABLE:
                 self._start_flush(hold=False, channel=channel)
         elif kind == "join_req":
-            self._on_join_request(payload["from"],
-                                  payload.get("coordinator"), channel)
+            self._on_join_request(payload, channel)
 
-    def _on_join_request(self, member: str, their_coordinator: Optional[str],
-                         channel) -> None:
+    def _on_join_request(self, payload: dict, channel) -> None:
+        member = payload["from"]
+        their_coordinator = payload.get("coordinator")
         if self.view is None:
             return
         if their_coordinator is not None and not self.view.includes(member) \
-                and their_coordinator < self._flush_coordinator():
+                and their_coordinator < self._flush_coordinator() and \
+                self._accepts_foreign(
+                    their_coordinator,
+                    payload.get("coordinator_incarnation", 0)):
             # The requester belongs to an established view whose coordinator
-            # outranks ours: the merge direction is theirs — our own probes
-            # will ask that side for admission instead (absorbing them here
-            # would let a stale high-numbered view swallow a healthy group).
+            # outranks ours AND whose claimed incarnation is plausibly live:
+            # the merge direction is theirs — our own probes will ask that
+            # side for admission instead (absorbing them here would let a
+            # stale high-numbered view swallow a healthy group).  A claim
+            # whose incarnation is not newer than our history for that
+            # coordinator is a zombie lineage: no deference — admit the
+            # prober into this (live) side instead.
             return
         if self.view.includes(member):
             # Already admitted: the joiner lost the installation — repeat
@@ -620,25 +777,72 @@ class MembershipSession(GroupSession):
             # accept through the readmission exception below — observed as
             # a permanent group-wide stall in the 10+-node churn sweeps.)
             if self._flush_coordinator() != self.local:
+                self._forward_join_req(payload, channel)
                 return
-            payload = {"kind": "view_install",
-                       "new_view_id": self.view.view_id,
-                       "members": list(self.view.members),
-                       "joiners": [member], "departed": [],
-                       "hold": False, "from": self.local}
-            message = self.control_message(MembershipMessage, payload,
+            # Replay carries the stamp the view was installed under —
+            # never a fresh one — so a receiver whose history already
+            # covers that incarnation recognizes a stale lineage.
+            stamp = list(self._view_stamp) if self._view_stamp is not None \
+                else [self.local, self.incarnation]
+            reply = {"kind": "view_install",
+                     "new_view_id": self.view.view_id,
+                     "members": list(self.view.members),
+                     "joiners": [member], "departed": [],
+                     "hold": False, "from": self.local,
+                     "stamp": stamp}
+            message = self.control_message(MembershipMessage, reply,
                                            dest=member, source=self.local)
             self.send_down(message, channel=channel)
             return
         self.banned.discard(member)  # an explicit request lifts any ban
         self.pending_joiners.add(member)
-        if self._flush_coordinator() == self.local and \
-                self.phase is _Phase.STABLE:
-            self._start_flush(hold=False, channel=channel)
+        if self._flush_coordinator() == self.local:
+            if self.phase is _Phase.STABLE:
+                self._start_flush(hold=False, channel=channel)
+        else:
+            self._forward_join_req(payload, channel)
+
+    def _forward_join_req(self, payload: dict, channel) -> None:
+        """Relay a ``join_req`` (one hop) to the acting coordinator.
+
+        A prober only knows the peers of its (possibly stale) view; the
+        acting coordinator may have been admitted while the prober was
+        away — or the prober may already be back in the view without
+        knowing it — and would otherwise never learn of the request.  The
+        flag keeps a stale coordinator pointer from bouncing requests
+        around.
+        """
+        if payload.get("forwarded"):
+            return
+        relayed = dict(payload)
+        relayed["forwarded"] = True
+        forward = self.control_message(
+            MembershipMessage, relayed,
+            dest=self._flush_coordinator(), source=self.local)
+        self.send_down(forward, channel=channel)
 
     def _member_flush_req(self, payload: dict, channel) -> None:
-        if self.view is None or payload["new_view_id"] <= self.view.view_id:
+        # Join only a flush based on the view this member actually runs:
+        # ``new_view_id`` is always the base view's id + 1, so a request
+        # racing ahead of the previous installation (the coordinator
+        # "changes again" in the very instant it installs) must wait until
+        # that install lands — an ack computed from the older view's
+        # sequencing state would poison the cut.  A member lagging more
+        # than one view cannot exist in-lineage: every flush needs this
+        # member's acks to complete, so at most the last installation is
+        # outstanding (re-answered through _answer_if_stale).
+        if self.view is None or \
+                payload["new_view_id"] != self.view.view_id + 1:
             return
+        announcer = payload.get("from")
+        if announcer is not None and not self.view.includes(announcer):
+            # A coordinator outside this view roping us into its flush is
+            # a lineage takeover (a zombie's privately advanced ids can
+            # outrun ours): only a provably-live lineage may do that.
+            if not self._accepts_foreign(announcer,
+                                         payload.get("incarnation", 0)):
+                return
+        self._note_incarnation(announcer, payload.get("incarnation"))
         proposed = View(self.group, payload["new_view_id"],
                         tuple(payload["members"]))
         if self._target_view == proposed and self.phase in (
@@ -674,6 +878,7 @@ class MembershipSession(GroupSession):
         if self._target_view is None or \
                 payload["new_view_id"] != self._target_view.view_id:
             return
+        self._note_incarnation(payload.get("from"), payload.get("incarnation"))
         if self.phase not in (_Phase.AWAIT_CUT, _Phase.AWAIT_STATUS):
             if self.phase is _Phase.AWAIT_INSTALL:
                 self._send_cut_ack(channel)  # retry: re-ack
@@ -705,20 +910,43 @@ class MembershipSession(GroupSession):
         watermark = self.view.view_id if self.view is not None else -1
         if self.held_view is not None:
             watermark = max(watermark, self.held_view.view_id)
+        raw_stamp = payload.get("stamp")
+        stamp = (raw_stamp[0], raw_stamp[1]) if raw_stamp else None
+        announcer = payload.get("from")
+        if self.view is not None and announcer is not None and \
+                not self.view.includes(announcer):
+            # Cross-lineage installation (this node taken over from
+            # outside its agreed view, at whatever id): the announcing
+            # lineage must prove liveness — its stamped incarnation must
+            # be newer than this node's history for the stamp's
+            # coordinator.  This closes the zombie acting-coordinator
+            # window: a recovered node replaying or extending its
+            # pre-crash lineage replays an incarnation its ex-peers
+            # already recorded.
+            stamp_coord, stamp_inc = stamp if stamp is not None \
+                else (announcer, 0)
+            if not self._accepts_foreign(stamp_coord, stamp_inc):
+                return
         proposed = View(self.group, payload["new_view_id"],
-                        tuple(payload["members"]))
+                        tuple(payload["members"]), stamp=stamp)
         if payload["new_view_id"] <= watermark:
             # One exception to monotonicity: divergent histories.  A node
             # excluded by suspicion (crash, partition) keeps numbering views
             # on its own side and may burn past the other side's counter —
-            # so an install that *admits this node*, announced by someone
-            # outside its current view, is accepted even at a lower id, as
-            # long as it actually moves this node somewhere new (repeats of
-            # the same installation stay deduplicated).
-            announcer = payload.get("from")
+            # so an install that *admits this node* is accepted even at a
+            # lower id, as long as it actually moves this node somewhere
+            # new (repeats of the same installation stay deduplicated) and
+            # it provably comes from another, live lineage: announced from
+            # outside this node's view, or stamped with an incarnation
+            # strictly newer than this node's history (a half-churned
+            # zombie's stale view can still contain the live announcer —
+            # the stamp, which a stale lineage cannot mint, settles it).
+            stamp_fresh = stamp is not None and \
+                stamp[1] > self._coord_history.get(stamp[0], -1)
             readmission = (self.view is not None and
                            self.local in payload.get("joiners", ()) and
-                           not self.view.includes(announcer) and
+                           (not self.view.includes(announcer) or
+                            stamp_fresh) and
                            proposed != self.view and
                            (proposed.view_id, tuple(proposed.members))
                            not in self._installed_history)
@@ -738,6 +966,12 @@ class MembershipSession(GroupSession):
                  announcer: Optional[str] = None) -> None:
         previous = set(self.view.members) if self.view is not None else set()
         self._installed_history.add((view.view_id, tuple(view.members)))
+        if view.stamp is not None:
+            self._note_incarnation(view.stamp[0], view.stamp[1])
+        self._view_stamp = view.stamp
+        self.install_log.append(
+            (channel.kernel.now(), view.view_id, tuple(view.members),
+             tuple(departed)))
         self._target_view = None
         self._acks = {}
         self._cut_acks = set()
@@ -771,6 +1005,12 @@ class MembershipSession(GroupSession):
         for peer in sorted(lost):
             if peer != self.local and peer not in self._lost_peers:
                 self._arm_probe(peer, channel)
+                # Floor the peer's incarnation history: if it ever claims
+                # coordinatorship again, it must show an incarnation newer
+                # than anything known at exclusion time — a zombie
+                # replaying (or extending alone) its pre-crash lineage
+                # cannot.
+                self._note_incarnation(peer, 0)
         for peer in list(self._lost_peers):
             if view.includes(peer) or peer in self.banned:
                 self._drop_probe(peer)

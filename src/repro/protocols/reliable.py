@@ -83,6 +83,10 @@ class ReliableMulticastSession(GroupSession):
         #: previous view must never be interpreted in the new one — without
         #: the epoch tag, an in-flight retransmission arriving just after a
         #: view change would be delivered as a (duplicate) fresh message.
+        #: The epoch folds in the view's installation stamp (announcer +
+        #: incarnation): divergent lineages burn through the same view ids
+        #: independently, and a bare-id epoch re-used after a readmission
+        #: would let stale syncs re-deliver a whole view's traffic.
         self.epoch = -1
         # Tail-loss protection state.
         self._idle_ticks = 0
@@ -112,21 +116,11 @@ class ReliableMulticastSession(GroupSession):
         """
 
     def _ensure_scan(self, channel) -> None:
-        """Arm the scan loop (rearm-on-fire one-shot) if it is idle.
-
-        A cancelled handle counts as idle: channel teardown cancels every
-        live timer, so a session re-used after a reconfiguration must be
-        able to re-arm on its new channel.
-        """
-        if self._scan_handle is None or self._scan_handle.cancelled:
-            self._scan_handle = self.set_backoff_timer(
-                self.nack_interval, tag=_NACK_TIMER, factor=1.0,
-                channel=channel)
+        self._scan_handle = self.arm_on_demand(
+            self._scan_handle, self.nack_interval, _NACK_TIMER, channel)
 
     def _stop_scan(self) -> None:
-        if self._scan_handle is not None:
-            self._scan_handle.cancel()
-            self._scan_handle = None
+        self._scan_handle = self.stop_timer(self._scan_handle)
 
     def _scan_needed(self) -> bool:
         """Is there outstanding work only the tick loop can finish?"""
@@ -144,7 +138,7 @@ class ReliableMulticastSession(GroupSession):
 
     def on_view(self, event: ViewEvent) -> None:
         """New view: restart sequencing with a clean, agreed state."""
-        self.epoch = event.view.view_id
+        self.epoch = (event.view.view_id,) + (event.view.stamp or ("", 0))
         self.next_seqno = 1
         self.delivered = {member: 0 for member in event.view.members}
         self.pending.clear()

@@ -9,21 +9,34 @@ pipeline (Cocaditem dissemination → policy → flush → stack swap) adapts
 live.  :mod:`repro.scenarios.library` ships the canned scenarios.
 """
 
+from repro.scenarios.fuzz import (ALWAYS_ON, MIXES, FuzzConfig, FuzzOutcome,
+                                  fuzz_oracle, generate_scenario, run_fuzz,
+                                  run_seed_for, scenario_from_dict,
+                                  scenario_to_dict)
 from repro.scenarios.library import (CANNED, canned, churn_storm,
                                      commuter_handoff, degrading_channel_fec,
                                      flash_crowd_join, partition_heal)
-from repro.scenarios.runner import (ScenarioResult, ScenarioRunner,
-                                    build_loss_model, run_scenario)
+from repro.scenarios.runner import (InvariantViolation, ScenarioResult,
+                                    ScenarioRunner, build_loss_model,
+                                    run_scenario)
 from repro.scenarios.scenario import (ChatBurst, Crash, Handoff, Heal,
                                       Leave, LinkSpec, NodeSpec, Partition,
                                       Recover, Scenario, ScenarioEvent,
                                       SetLoss, bernoulli, gilbert_elliott)
+from repro.scenarios.shrink import (ShrinkOutcome, load_corpus_file,
+                                    shrink_scenario, write_corpus_file)
 
 __all__ = [
     "CANNED", "canned", "churn_storm", "commuter_handoff",
     "degrading_channel_fec", "flash_crowd_join", "partition_heal",
-    "ScenarioResult", "ScenarioRunner", "build_loss_model", "run_scenario",
+    "InvariantViolation", "ScenarioResult", "ScenarioRunner",
+    "build_loss_model", "run_scenario",
     "ChatBurst", "Crash", "Handoff", "Heal", "Leave", "LinkSpec",
     "NodeSpec", "Partition", "Recover", "Scenario", "ScenarioEvent",
     "SetLoss", "bernoulli", "gilbert_elliott",
+    "ALWAYS_ON", "MIXES", "FuzzConfig", "FuzzOutcome", "fuzz_oracle",
+    "generate_scenario", "run_fuzz", "run_seed_for", "scenario_from_dict",
+    "scenario_to_dict",
+    "ShrinkOutcome", "load_corpus_file", "shrink_scenario",
+    "write_corpus_file",
 ]

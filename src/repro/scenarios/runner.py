@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional, Sequence
 
 from repro.core.morpheus import MorpheusNode
 from repro.simnet.energy import Battery
@@ -51,6 +51,28 @@ def build_loss_model(spec: LinkSpec, rng: random.Random) -> LossModel:
     if spec.model == "gilbert_elliott":
         return GilbertElliottLoss(rng, **params)
     return NoLoss()
+
+
+class InvariantViolation(AssertionError):
+    """A completed run broke at least one always-on invariant.
+
+    Raised by :meth:`ScenarioRunner.run` when invariant checks were
+    installed and any of them reported violations.  Carries the finished
+    :class:`ScenarioResult` so the caller (the fuzzer, a test) can inspect
+    and shrink the run that failed.
+    """
+
+    def __init__(self, violations: Sequence[str],
+                 result: "ScenarioResult") -> None:
+        super().__init__("; ".join(violations))
+        self.violations = tuple(violations)
+        self.result = result
+
+
+#: An invariant check: called with the finished runner (network, morpheus
+#: nodes and scenario still live) and the collected result; returns a list
+#: of human-readable violation strings — empty when the invariant holds.
+InvariantCheck = Callable[["ScenarioRunner", "ScenarioResult"], list]
 
 
 @dataclass
@@ -122,14 +144,22 @@ class ScenarioRunner:
             to :class:`~repro.simnet.engine.SimEngine`.  The timer-wheel
             benchmark passes the reference heap scheduler here to prove
             the two engines drive bit-identical runs.
+        invariants: checks run after every completed run, while the
+            network and Morpheus nodes are still inspectable.  Each is
+            called with ``(runner, result)`` and returns a list of
+            violation strings; any non-empty list makes :meth:`run` raise
+            :class:`InvariantViolation` (carrying the result).  The fuzzer
+            installs its always-on invariant set here.
     """
 
     def __init__(self, scenario: Scenario, seed: int = 0,
-                 engine_factory=SimEngine) -> None:
+                 engine_factory=SimEngine,
+                 invariants: Sequence[InvariantCheck] = ()) -> None:
         scenario.validate()
         self.scenario = scenario
         self.seed = seed
         self.engine_factory = engine_factory
+        self.invariants = tuple(invariants)
         self.engine: Optional[SimEngine] = None
         self.network: Optional[Network] = None
         self.morpheus: dict[str, MorpheusNode] = {}
@@ -159,6 +189,7 @@ class ScenarioRunner:
         stack_options = {
             "heartbeat_interval": self.scenario.heartbeat_interval,
             "nack_interval": self.scenario.nack_interval,
+            "ordering": tuple(self.scenario.ordering),
         }
         if self.scenario.policy == "loss_adaptive":
             return LossAdaptivePolicy(stack_options=stack_options, **options)
@@ -179,6 +210,7 @@ class ScenarioRunner:
         node = MorpheusNode(
             self.network, node_id, members,
             policy=self._make_policy(),
+            ordering=tuple(scenario.ordering),
             publish_interval=scenario.publish_interval,
             evaluate_interval=scenario.evaluate_interval,
             heartbeat_interval=scenario.heartbeat_interval,
@@ -287,7 +319,14 @@ class ScenarioRunner:
             self._schedule_burst(burst)
 
         self.engine.run_until(scenario.duration_s)
-        return self._collect()
+        result = self._collect()
+        if self.invariants:
+            violations: list[str] = []
+            for check in self.invariants:
+                violations.extend(check(self, result))
+            if violations:
+                raise InvariantViolation(violations, result)
+        return result
 
     def _schedule_burst(self, burst: ChatBurst) -> None:
         def send(index: int) -> None:
@@ -334,7 +373,8 @@ class ScenarioRunner:
 
 
 def run_scenario(scenario: Scenario, seed: int = 0,
-                 engine_factory=SimEngine) -> ScenarioResult:
+                 engine_factory=SimEngine,
+                 invariants: Sequence[InvariantCheck] = ()) -> ScenarioResult:
     """One-call convenience: build a runner and execute the scenario."""
-    return ScenarioRunner(scenario, seed=seed,
-                          engine_factory=engine_factory).run()
+    return ScenarioRunner(scenario, seed=seed, engine_factory=engine_factory,
+                          invariants=invariants).run()

@@ -25,6 +25,7 @@ VALID_KINDS = ("fixed", "mobile")
 VALID_SEGMENTS = ("wired", "wireless")
 VALID_LOSS_MODELS = ("none", "bernoulli", "gilbert_elliott")
 VALID_POLICIES = ("hybrid", "loss_adaptive", "rotating")
+VALID_ORDERINGS = ("causal", "total")
 
 
 @dataclass(frozen=True)
@@ -155,6 +156,9 @@ class Scenario:
     workload: tuple[ChatBurst, ...] = ()
     policy: str = "hybrid"
     policy_options: tuple[tuple[str, float], ...] = ()
+    #: Ordering layers for the data stack (``"causal"``/``"total"``); the
+    #: fuzzer uses it to exercise the reliable+total delivery invariants.
+    ordering: tuple[str, ...] = ()
     wired: LinkSpec = field(default_factory=LinkSpec)
     wireless: LinkSpec = field(default_factory=LinkSpec)
     publish_interval: float = 2.0
@@ -188,6 +192,10 @@ class Scenario:
         if self.policy not in VALID_POLICIES:
             raise ValueError(f"unknown policy {self.policy!r} "
                              f"(expected one of {VALID_POLICIES})")
+        for layer in self.ordering:
+            if layer not in VALID_ORDERINGS:
+                raise ValueError(f"unknown ordering layer {layer!r} "
+                                 f"(expected one of {VALID_ORDERINGS})")
         if not self.initial_members():
             raise ValueError("scenario needs at least one t=0 node")
         seen: set[str] = set()

@@ -1,0 +1,294 @@
+"""Delta-debugging shrinker: minimize a failing scenario to a reproducer.
+
+A fuzz failure is only useful once a human can read it.  Given a scenario
+whose run violates an invariant, :func:`shrink_scenario` searches for a
+*locally minimal* variant that still fails in the same way, by repeatedly
+re-running candidate scenarios with pieces removed:
+
+1. **events** — classic ddmin over the event schedule (drop complements of
+   progressively finer chunks, then single events, to a fixpoint);
+2. **workload** — drop whole bursts, then halve the surviving bursts'
+   message counts;
+3. **nodes** — drop one node at a time, cascading the removal through
+   events (their targets), partition groups and bursts;
+4. **horizon** — pull the run's end forward to the last scheduled
+   activity plus the settle tail.
+
+"Fails in the same way" means: the candidate's violation list shares at
+least one violation *category* (the ``kind:`` prefix, e.g.
+``view-agreement``) with the original failure — a shrink step may not
+silently wander from a membership bug to an unrelated counter bug.
+
+The result is written as a replayable corpus file
+(:func:`write_corpus_file`) under ``tests/scenarios/corpus/``; the
+corpus-replay test suite re-runs every checked-in file under both engines
+forever after.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence
+
+from repro.scenarios.scenario import (Leave, Partition, Scenario,
+                                      ScenarioEvent)
+
+CORPUS_FORMAT = 1
+
+
+def violation_categories(violations: Sequence[str]) -> set[str]:
+    """The ``kind:`` prefixes of a violation list."""
+    return {v.split(":", 1)[0] for v in violations}
+
+
+@dataclass
+class ShrinkOutcome:
+    """A locally-minimal failing scenario and the search's bookkeeping."""
+
+    scenario: Scenario
+    violations: tuple[str, ...]
+    tests_run: int
+
+
+class _Budget:
+    """Caps oracle invocations; shrinking must terminate predictably."""
+
+    def __init__(self, max_tests: int) -> None:
+        self.max_tests = max_tests
+        self.used = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.used >= self.max_tests
+
+
+def _still_fails(scenario: Scenario, oracle, categories: set[str],
+                 budget: _Budget) -> Optional[tuple[str, ...]]:
+    """Violations of ``scenario`` if it fails in the same way, else None."""
+    if budget.exhausted:
+        return None
+    try:
+        scenario.validate()
+    except ValueError:
+        return None
+    budget.used += 1
+    violations = tuple(oracle(scenario))
+    if violations and violation_categories(violations) & categories:
+        return violations
+    return None
+
+
+def _ddmin_events(scenario: Scenario, violations: tuple[str, ...],
+                  oracle, categories: set[str], budget: _Budget,
+                  log) -> tuple[Scenario, tuple[str, ...]]:
+    """Minimize the event schedule by removing complement chunks."""
+    events = list(scenario.events)
+    granularity = 2
+    while len(events) >= 1 and not budget.exhausted:
+        chunk = max(1, len(events) // granularity)
+        reduced = False
+        start = 0
+        while start < len(events):
+            candidate_events = events[:start] + events[start + chunk:]
+            candidate = replace(scenario, events=tuple(candidate_events))
+            result = _still_fails(candidate, oracle, categories, budget)
+            if result is not None:
+                events = candidate_events
+                scenario, violations = candidate, result
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                log(f"shrink: events -> {len(events)}")
+                break
+            start += chunk
+        if not reduced:
+            if chunk <= 1:
+                break
+            granularity = min(granularity * 2, len(events))
+    return scenario, violations
+
+
+def _shrink_workload(scenario: Scenario, violations: tuple[str, ...],
+                     oracle, categories: set[str], budget: _Budget,
+                     log) -> tuple[Scenario, tuple[str, ...]]:
+    # Drop whole bursts — all of them if the failure survives: the
+    # category match already guarantees a candidate cannot "pass" by
+    # trivially silencing a delivery violation with an empty workload.
+    index = 0
+    while index < len(scenario.workload):
+        bursts = list(scenario.workload)
+        del bursts[index]
+        candidate = replace(scenario, workload=tuple(bursts))
+        result = _still_fails(candidate, oracle, categories, budget)
+        if result is not None:
+            scenario, violations = candidate, result
+            log(f"shrink: bursts -> {len(bursts)}")
+        else:
+            index += 1
+    # Halve surviving counts.
+    for index, burst in enumerate(scenario.workload):
+        count = burst.count
+        while count > 1:
+            count = max(1, count // 2)
+            bursts = list(scenario.workload)
+            bursts[index] = replace(burst, count=count)
+            candidate = replace(scenario, workload=tuple(bursts))
+            result = _still_fails(candidate, oracle, categories, budget)
+            if result is None:
+                break
+            scenario, violations = candidate, result
+            burst = bursts[index]
+            log(f"shrink: burst {burst.prefix} count -> {count}")
+    return scenario, violations
+
+
+def _without_node(scenario: Scenario, node_id: str) -> Optional[Scenario]:
+    """``scenario`` minus one node, cascaded through every reference."""
+    nodes = tuple(s for s in scenario.nodes if s.node_id != node_id)
+    if not nodes:
+        return None
+    events: list[ScenarioEvent] = []
+    for event in scenario.events:
+        if getattr(event, "node", None) == node_id:
+            continue
+        if isinstance(event, Partition):
+            groups = tuple(
+                tuple(m for m in group if m != node_id)
+                for group in event.groups)
+            groups = tuple(group for group in groups if group)
+            if len(groups) < 2:
+                continue
+            event = replace(event, groups=groups)
+        events.append(event)
+    workload = tuple(b for b in scenario.workload if b.sender != node_id)
+    return replace(scenario, nodes=nodes, events=tuple(events),
+                   workload=workload)
+
+
+def _shrink_nodes(scenario: Scenario, violations: tuple[str, ...],
+                  oracle, categories: set[str], budget: _Budget,
+                  log) -> tuple[Scenario, tuple[str, ...]]:
+    index = 0
+    while index < len(scenario.nodes):
+        node_id = scenario.nodes[index].node_id
+        candidate = _without_node(scenario, node_id)
+        result = None
+        if candidate is not None:
+            result = _still_fails(candidate, oracle, categories, budget)
+        if result is not None:
+            scenario, violations = candidate, result
+            log(f"shrink: nodes -> {len(scenario.nodes)} (dropped "
+                f"{node_id})")
+        else:
+            index += 1
+    return scenario, violations
+
+
+def _shrink_horizon(scenario: Scenario, violations: tuple[str, ...],
+                    oracle, categories: set[str], budget: _Budget,
+                    log) -> tuple[Scenario, tuple[str, ...]]:
+    last = 1.0
+    for event in scenario.events:
+        last = max(last, event.at)
+        if isinstance(event, Leave):
+            last = max(last, event.at + event.depart_after)
+    for burst in scenario.workload:
+        last = max(last, burst.start + burst.count * burst.interval)
+    for spec in scenario.nodes:
+        if spec.join_at is not None:
+            last = max(last, spec.join_at)
+    for settle in (60.0, 45.0, 30.0):
+        horizon = round(last + settle, 1)
+        if horizon >= scenario.duration_s:
+            continue
+        candidate = replace(scenario, duration_s=horizon)
+        result = _still_fails(candidate, oracle, categories, budget)
+        if result is not None:
+            scenario, violations = candidate, result
+            log(f"shrink: horizon -> {horizon}s")
+            break
+    return scenario, violations
+
+
+def shrink_scenario(scenario: Scenario, run_seed: int,
+                    violations: Sequence[str], parity: bool = False,
+                    max_tests: int = 200,
+                    oracle: Optional[Callable[[Scenario], list]] = None,
+                    log: Callable[[str], None] = lambda line: None
+                    ) -> ShrinkOutcome:
+    """Minimize ``scenario`` while it keeps failing in the same way.
+
+    ``oracle`` defaults to :func:`repro.scenarios.fuzz.fuzz_oracle` bound
+    to ``run_seed`` (and the parity replay when the original failure was
+    one); tests may pass a custom oracle.  ``max_tests`` caps the number
+    of candidate runs.
+    """
+    if oracle is None:
+        from repro.scenarios.fuzz import fuzz_oracle
+
+        def oracle(candidate: Scenario) -> list:
+            return fuzz_oracle(candidate, run_seed, parity=parity)
+
+    categories = violation_categories(violations)
+    budget = _Budget(max_tests)
+    violations = tuple(violations)
+    previous = None
+    while previous != (scenario, violations) and not budget.exhausted:
+        previous = (scenario, violations)
+        scenario, violations = _ddmin_events(
+            scenario, violations, oracle, categories, budget, log)
+        scenario, violations = _shrink_workload(
+            scenario, violations, oracle, categories, budget, log)
+        scenario, violations = _shrink_nodes(
+            scenario, violations, oracle, categories, budget, log)
+    scenario, violations = _shrink_horizon(
+        scenario, violations, oracle, categories, budget, log)
+    return ShrinkOutcome(scenario=scenario, violations=violations,
+                         tests_run=budget.used)
+
+
+# ---------------------------------------------------------------------------
+# Corpus files
+# ---------------------------------------------------------------------------
+
+def write_corpus_file(corpus_dir: str, scenario: Scenario, run_seed: int,
+                      violations: Sequence[str], parity: bool = False) -> str:
+    """Write a shrunk reproducer as a replayable corpus JSON file.
+
+    The file name derives from the scenario name and the leading violation
+    category, so a corpus directory reads as an index of known bug
+    classes.  Returns the path written.
+    """
+    from repro.scenarios.fuzz import scenario_to_dict
+    categories = sorted(violation_categories(violations))
+    slug = re.sub(r"[^a-z0-9]+", "_",
+                  f"{categories[0] if categories else 'fail'}_{scenario.name}"
+                  .lower()).strip("_")
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, f"{slug}.json")
+    payload = {
+        "format": CORPUS_FORMAT,
+        "run_seed": run_seed,
+        "violations": list(violations),
+        "check_parity": parity,
+        "scenario": scenario_to_dict(scenario),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus_file(path: str) -> dict:
+    """Read a corpus file; returns the raw payload dict (validated
+    scenario under ``"scenario_obj"``)."""
+    from repro.scenarios.fuzz import scenario_from_dict
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != CORPUS_FORMAT:
+        raise ValueError(f"{path}: unsupported corpus format "
+                         f"{payload.get('format')!r}")
+    payload["scenario_obj"] = scenario_from_dict(payload["scenario"])
+    return payload

@@ -1,0 +1,149 @@
+"""Zombie acting-coordinator hardening: incarnation-numbered views.
+
+A crashed node's state machine keeps running blind (timers fire, loopback
+completes singleton flushes), so a recovered "zombie" returns with a
+privately advanced view lineage.  When it is the **lowest id** of its
+stale view it believes itself the acting coordinator, answers the live
+group's lost-peer probes with admission flushes it completes alone, and —
+pre-fix — absorbed live members one at a time into its stale lineage,
+stranding everyone it never knew about (a joiner admitted during its
+death, a member it had already excluded).  These tests script that
+scenario directly at the protocol level and assert the incarnation
+numbering closes the window:
+
+* peers reject installs whose incarnation is not newer than their history
+  for the announcing coordinator, so the zombie's stale lineage cannot
+  take over a multi-member view;
+* re-admission instead runs through the live side's flush, on the correct
+  (advanced) incarnation, and converges with *everyone* aboard;
+* re-used view ids across divergent lineages no longer collide in the
+  reliable layer (the epoch folds in the installation stamp), so a
+  readmitted node's traffic is not re-delivered.
+"""
+
+from __future__ import annotations
+
+from tests.protocols.helpers import (build_group_stack, build_world,
+                                     collector_of, membership_of)
+
+
+def _views_of(channel):
+    return [view.members for view in collector_of(channel).views]
+
+
+class TestZombieLowestId:
+    def test_zombie_cannot_absorb_live_group(self):
+        """'a' (the lowest id) crashes, churns alone past the group's view
+        numbering, recovers — and must NOT pull live members into its
+        stale lineage."""
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed", "d": "fixed"})
+        engine.run_until(1.0)
+        network.crash_node("a")
+        # Long enough for the survivors to exclude 'a' AND for zombie 'a'
+        # to suspect everyone and churn to a high-id singleton view.
+        engine.run_until(20.0)
+        assert collector_of(channels["b"]).view.members == ("b", "c", "d")
+        zombie = membership_of(channels["a"])
+        assert zombie.view.members == ("a",), "zombie churned to singleton"
+        assert zombie.view.view_id >= collector_of(channels["b"]).view.view_id
+        network.recover_node("a")
+        engine.run_until(60.0)
+        # Convergence through the LIVE lineage: everyone ends together...
+        for node_id, channel in channels.items():
+            assert collector_of(channel).view.members == \
+                ("a", "b", "c", "d"), node_id
+        # ...and no live member was ever dragged through a zombie view: a
+        # hijack shows up as an intermediate view that contains 'a' but
+        # misses a live member.
+        for node_id in ("b", "c", "d"):
+            for members in _views_of(channels[node_id]):
+                if "a" in members:
+                    assert {"b", "c", "d"} <= set(members), (
+                        f"{node_id} installed zombie-lineage view "
+                        f"{members}")
+
+    def test_zombie_cannot_advance_its_incarnation_alone(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(1.0)
+        before = membership_of(channels["a"]).incarnation
+        network.crash_node("a")
+        engine.run_until(25.0)  # zombie churns several singleton flushes
+        zombie = membership_of(channels["a"])
+        assert zombie.flushes_completed > 1
+        assert zombie.incarnation == before, (
+            "a flush no other member acked must not advance the "
+            "coordinatorship incarnation")
+        # The survivors floored their history for 'a' on exclusion, so
+        # nothing the zombie can stamp is 'newer'.
+        assert membership_of(channels["b"])._coord_history["a"] >= before
+
+    def test_member_joined_during_crash_is_not_stranded(self):
+        """The fuzzer's original catch (seed 7, run 34): 'e' joins while
+        the lowest id 'a' is dead; recovered 'a' must not reform the
+        group from its stale knowledge and strand 'e'."""
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed", "d": "fixed"})
+        engine.run_until(1.0)
+        network.crash_node("a")
+        engine.run_until(10.0)
+        network.add_fixed_node("e")
+        channels["e"] = build_group_stack(network, "e",
+                                          ("a", "b", "c", "d", "e"),
+                                          join=True)
+        engine.run_until(20.0)
+        assert collector_of(channels["e"]).view is not None
+        assert "e" in collector_of(channels["b"]).view.members
+        network.recover_node("a")
+        engine.run_until(70.0)
+        for node_id, channel in channels.items():
+            assert collector_of(channel).view.members == \
+                ("a", "b", "c", "d", "e"), node_id
+
+    def test_readmission_restarts_a_fresh_delivery_epoch(self):
+        """Divergent lineages can re-use a view id; the stamped epoch
+        must keep the readmitted member from re-delivering old traffic
+        (the delivery-dup the fuzzer caught on seed 7, run 20)."""
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(1.0)
+        collector_of(channels["a"]).send_text("before-crash")
+        engine.run_until(2.0)
+        network.crash_node("a")
+        engine.run_until(15.0)
+        network.recover_node("a")
+        engine.run_until(45.0)
+        for channel in channels.values():
+            assert collector_of(channel).view.members == ("a", "b", "c")
+        collector_of(channels["b"]).send_text("after-merge")
+        engine.run_until(50.0)
+        for node_id, channel in channels.items():
+            payloads = collector_of(channel).payloads()
+            assert payloads.count("after-merge") == 1, node_id
+            assert payloads.count("before-crash") <= 1, node_id
+
+    def test_incarnation_advances_with_acked_flushes(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(1.0)
+        coordinator = membership_of(channels["a"])
+        start = coordinator.incarnation
+        network.crash_node("c")
+        engine.run_until(10.0)  # exclusion flush, acked by 'b'
+        assert coordinator.incarnation > start
+        assert membership_of(channels["b"])._coord_history["a"] == \
+            coordinator.incarnation
+
+
+class TestInstallLog:
+    def test_install_log_records_timeline(self):
+        engine, network, channels = build_world(
+            {"a": "fixed", "b": "fixed", "c": "fixed"})
+        engine.run_until(1.0)
+        network.crash_node("c")
+        engine.run_until(10.0)
+        log = membership_of(channels["a"]).install_log
+        assert [entry[2] for entry in log] == \
+            [("a", "b", "c"), ("a", "b")]
+        assert log[0][0] <= log[1][0]

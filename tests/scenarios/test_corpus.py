@@ -1,0 +1,51 @@
+"""Corpus replay: every checked-in shrunk reproducer stays fixed.
+
+Each file under ``tests/scenarios/corpus/`` is a delta-debugged minimal
+scenario that once violated a run invariant (the ``violations`` field
+records what it reproduced).  These tests replay every entry under both
+engines and require all invariants green and bit-identical results —
+the regression gate the fuzzer's shrinker feeds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.fuzz import ALWAYS_ON, fuzz_oracle
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.shrink import load_corpus_file
+from repro.simnet.engine import HeapSimEngine, SimEngine
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def corpus_ids() -> list[str]:
+    return [path.stem for path in CORPUS_FILES]
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS_FILES, "corpus directory lost its reproducers"
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=corpus_ids())
+class TestCorpusReplay:
+    def test_reproducer_stays_fixed(self, path):
+        entry = load_corpus_file(str(path))
+        violations = fuzz_oracle(entry["scenario_obj"], entry["run_seed"])
+        assert violations == [], (
+            f"{path.name} regressed: this scenario used to reproduce "
+            f"{entry['violations']} and was fixed — it fails again")
+
+    def test_engines_agree_on_reproducer(self, path):
+        entry = load_corpus_file(str(path))
+        scenario, seed = entry["scenario_obj"], entry["run_seed"]
+        wheel = ScenarioRunner(scenario, seed=seed,
+                               engine_factory=SimEngine,
+                               invariants=ALWAYS_ON).run()
+        heap = ScenarioRunner(scenario, seed=seed,
+                              engine_factory=HeapSimEngine,
+                              invariants=ALWAYS_ON).run()
+        assert wheel == heap

@@ -1,0 +1,176 @@
+"""Scenario fuzzer: generator validity/determinism, invariants, shrinker."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.scenarios.fuzz import (MIXES, check_delivery, final_components,
+                                  fuzz_oracle, generate_scenario,
+                                  run_seed_for, scenario_from_dict,
+                                  scenario_to_dict)
+from repro.scenarios.scenario import (ChatBurst, Crash, Handoff, Heal,
+                                      NodeSpec, Partition, Recover, Scenario)
+from repro.scenarios.shrink import (shrink_scenario, violation_categories)
+
+
+class TestGenerator:
+    def test_same_triple_yields_identical_scenarios(self):
+        assert generate_scenario(5, 3) == generate_scenario(5, 3)
+        assert run_seed_for(5, 3) == run_seed_for(5, 3)
+
+    def test_different_indices_yield_different_scenarios(self):
+        drawn = {generate_scenario(5, index) for index in range(8)}
+        assert len(drawn) == 8
+
+    @pytest.mark.parametrize("mix", sorted(MIXES))
+    def test_generated_scenarios_are_valid(self, mix):
+        for index in range(12):
+            scenario = generate_scenario(11, index, mix=mix)
+            scenario.validate()  # raises on any structural inconsistency
+            assert scenario.workload, "every run must carry some traffic"
+
+    def test_anchor_sender_survives_every_schedule(self):
+        """The first burst's sender is never crashed or removed."""
+        for index in range(12):
+            scenario = generate_scenario(2, index)
+            anchor = scenario.workload[0].sender
+            for event in scenario.events:
+                if getattr(event, "node", None) == anchor:
+                    assert isinstance(event, (Handoff, Recover)), event
+
+    def test_roundtrip_through_corpus_shape(self):
+        for index in range(6):
+            scenario = generate_scenario(4, index, mix="partition")
+            assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+
+class TestFinalComponents:
+    def _scenario(self, events) -> Scenario:
+        return Scenario(
+            name="components", duration_s=60.0,
+            nodes=(NodeSpec("a"), NodeSpec("b"), NodeSpec("c")),
+            events=events,
+            workload=(ChatBurst(start=1.0, sender="a", count=1),))
+
+    def test_unpartitioned_run_is_one_component(self):
+        assert final_components(self._scenario(())) == [{"a", "b", "c"}]
+
+    def test_last_partition_wins(self):
+        scenario = self._scenario((
+            Partition(10.0, groups=(("a",), ("b", "c"))),
+            Heal(20.0),
+            Partition(30.0, groups=(("a", "b"), ("c",)))))
+        assert final_components(scenario) == [{"a", "b"}, {"c"}]
+
+    def test_heal_restores_one_component(self):
+        scenario = self._scenario((
+            Partition(10.0, groups=(("a",), ("b", "c"))), Heal(20.0)))
+        assert final_components(scenario) == [{"a", "b", "c"}]
+
+    def test_uncovered_nodes_become_islands(self):
+        scenario = self._scenario((
+            Partition(10.0, groups=(("a",), ("b",))),))
+        assert {"c"} in final_components(scenario)
+
+
+def _runner_with_histories(histories: dict) -> SimpleNamespace:
+    morpheus = {
+        node_id: SimpleNamespace(chat=SimpleNamespace(history=[
+            SimpleNamespace(source=source, text=text)
+            for source, text in deliveries]))
+        for node_id, deliveries in histories.items()}
+    scenario = SimpleNamespace(ordering=())
+    return SimpleNamespace(morpheus=morpheus, scenario=scenario)
+
+
+class TestDeliveryInvariant:
+    def test_clean_history_passes(self):
+        runner = _runner_with_histories({
+            "a": [("a", "b0-0"), ("a", "b0-1"), ("b", "b1-0")],
+            "b": [("a", "b0-0"), ("a", "b0-1")]})
+        assert check_delivery(runner, None) == []
+
+    def test_duplicate_delivery_is_flagged(self):
+        runner = _runner_with_histories({
+            "a": [("b", "b0-3"), ("b", "b0-3")]})
+        violations = check_delivery(runner, None)
+        assert len(violations) == 1
+        assert violations[0].startswith("delivery-dup")
+
+    def test_reordered_delivery_is_flagged(self):
+        runner = _runner_with_histories({
+            "a": [("b", "b0-3"), ("b", "b0-1")]})
+        violations = check_delivery(runner, None)
+        assert len(violations) == 1
+        assert violations[0].startswith("delivery-order")
+
+    def test_gaps_are_allowed(self):
+        # Messages may be lost across view changes; FIFO only forbids
+        # going backwards, not holes.
+        runner = _runner_with_histories({
+            "a": [("b", "b0-0"), ("b", "b0-7"), ("b", "b0-9")]})
+        assert check_delivery(runner, None) == []
+
+
+class TestOracleAndShrinker:
+    def test_oracle_green_on_small_generated_run(self):
+        scenario = generate_scenario(7, 2)  # 3 nodes, short
+        assert fuzz_oracle(scenario, run_seed_for(7, 2)) == []
+
+    def test_shrinker_minimizes_against_synthetic_oracle(self):
+        """No simulation: the oracle fails iff a Crash of node x is in the
+        schedule — the shrinker must strip everything else."""
+        scenario = Scenario(
+            name="synthetic", duration_s=80.0,
+            nodes=(NodeSpec("x"), NodeSpec("y"), NodeSpec("z")),
+            events=(Handoff(5.0, node="y", to="mobile"),
+                    Crash(10.0, node="x"),
+                    Partition(15.0, groups=(("x",), ("y", "z"))),
+                    Heal(20.0),
+                    Crash(25.0, node="y"),
+                    Recover(30.0, node="y")),
+            workload=(ChatBurst(start=1.0, sender="y", count=30,
+                                prefix="b0"),
+                      ChatBurst(start=2.0, sender="z", count=30,
+                                prefix="b1")))
+
+        def oracle(candidate: Scenario) -> list:
+            crashes_x = any(isinstance(event, Crash) and event.node == "x"
+                            for event in candidate.events)
+            return ["synthetic-fail: x crashed"] if crashes_x else []
+
+        outcome = shrink_scenario(scenario, run_seed=0,
+                                  violations=oracle(scenario),
+                                  oracle=oracle)
+        assert [type(e).__name__ for e in outcome.scenario.events] == \
+            ["Crash"]
+        assert outcome.scenario.events[0].node == "x"
+        # The workload is irrelevant to this failure and shrinks away
+        # entirely; unrelated nodes are dropped (x stays: the failing
+        # event needs it).
+        assert outcome.scenario.workload == ()
+        node_ids = {spec.node_id for spec in outcome.scenario.nodes}
+        assert "x" in node_ids and len(node_ids) <= 2
+
+    def test_shrinker_keeps_failure_category(self):
+        """A candidate failing with a *different* category does not count
+        as still-failing."""
+        base = generate_scenario(7, 2)
+
+        def oracle(candidate: Scenario) -> list:
+            if len(candidate.events) == len(base.events):
+                return ["cat-a: full schedule"]
+            return ["cat-b: different failure"]
+
+        outcome = shrink_scenario(base, run_seed=0,
+                                  violations=["cat-a: full schedule"],
+                                  oracle=oracle)
+        # Every reduction flips the category, so nothing may be removed.
+        assert outcome.scenario.events == base.events
+
+    def test_violation_categories(self):
+        assert violation_categories(
+            ["view-agreement: x", "delivery-dup: y", "view-agreement: z"]) \
+            == {"view-agreement", "delivery-dup"}

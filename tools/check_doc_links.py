@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""Fail on broken intra-repo links in the documentation set.
+"""Fail on broken intra-repo links (and anchors) in the documentation set.
 
 Scans ``README.md`` and ``docs/*.md`` for Markdown links and verifies
-that every relative target resolves to an existing file (or directory)
-inside the repository.  External links (``http(s)://``, ``mailto:``) and
-pure in-page anchors are skipped; a ``#fragment`` on a relative link is
-stripped before the existence check.
+
+* that every relative target resolves to an existing file (or directory)
+  inside the repository, and
+* that every ``#fragment`` — on an in-page anchor or on a relative link
+  to another Markdown file — names a heading that actually renders in
+  the target document (GitHub-style slugs, duplicate headings get
+  ``-1``/``-2``… suffixes).
+
+External links (``http(s)://``, ``mailto:``) are skipped.
 
 Run from anywhere::
 
@@ -27,6 +32,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: docs use no reference-style links, no angle-bracket targets.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
+#: ATX headings (the only style the docs use).
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+_FENCE = re.compile(r"^(```|~~~)")
+
 _SKIP_PREFIXES = ("http://", "https://", "mailto:")
 
 
@@ -36,7 +46,50 @@ def doc_files() -> list[Path]:
     return [path for path in files if path.exists()]
 
 
-def broken_links(path: Path) -> list[tuple[int, str]]:
+def github_slug(heading: str) -> str:
+    """The anchor id GitHub renders for a heading.
+
+    Inline markup is stripped (``code``, *emphasis*, [text](url) keeps
+    the text), then: lowercase, spaces → hyphens, everything that is not
+    a word character or hyphen dropped.
+    """
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # link text
+    text = re.sub(r"[`*_]", "", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    # One hyphen PER space: "a — b" renders as a-—-b minus the dash,
+    # i.e. "a--b" — GitHub does not collapse the doubled hyphen.
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """Every anchor the rendered document exposes (fenced code excluded)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def broken_links(path: Path,
+                 anchor_cache: dict[Path, set[str]]) -> list[tuple[int, str]]:
+    def anchors_of(target: Path) -> set[str]:
+        if target not in anchor_cache:
+            anchor_cache[target] = heading_anchors(target)
+        return anchor_cache[target]
+
     broken = []
     for line_number, line in enumerate(
             path.read_text(encoding="utf-8").splitlines(), start=1):
@@ -44,22 +97,33 @@ def broken_links(path: Path) -> list[tuple[int, str]]:
             target = match.group(1)
             if target.startswith(_SKIP_PREFIXES):
                 continue
-            if target.startswith("#"):
-                continue  # in-page anchor
-            relative = target.split("#", 1)[0]
-            resolved = (path.parent / relative).resolve()
-            if not str(resolved).startswith(str(REPO_ROOT)):
-                broken.append((line_number, f"{target} (escapes the repo)"))
-            elif not resolved.exists():
-                broken.append((line_number, target))
+            relative, _, fragment = target.partition("#")
+            if relative:
+                resolved = (path.parent / relative).resolve()
+                if not str(resolved).startswith(str(REPO_ROOT)):
+                    broken.append(
+                        (line_number, f"{target} (escapes the repo)"))
+                    continue
+                if not resolved.exists():
+                    broken.append((line_number, target))
+                    continue
+            else:
+                resolved = path  # pure in-page anchor
+            if fragment and resolved.suffix == ".md" and resolved.is_file():
+                if fragment.lower() not in anchors_of(resolved):
+                    broken.append(
+                        (line_number,
+                         f"{target} (no heading renders anchor "
+                         f"#{fragment} in {resolved.name})"))
     return broken
 
 
 def main() -> int:
     files = doc_files()
+    anchor_cache: dict[Path, set[str]] = {}
     failures = 0
     for path in files:
-        for line_number, target in broken_links(path):
+        for line_number, target in broken_links(path, anchor_cache):
             print(f"{path.relative_to(REPO_ROOT)}:{line_number}: "
                   f"broken link -> {target}")
             failures += 1
@@ -67,7 +131,7 @@ def main() -> int:
     if failures:
         print(f"{failures} broken link(s) across {checked}", file=sys.stderr)
         return 1
-    print(f"all intra-repo links resolve ({checked})")
+    print(f"all intra-repo links and anchors resolve ({checked})")
     return 0
 
 
