@@ -15,6 +15,10 @@ from repro.core.policy import (CompositePolicy, ContextDirectory,
                                ReconfigurationPlan, StaticPolicy,
                                ThresholdBatteryRotationPolicy,
                                best_battery_relay, lowest_id_relay)
+from repro.core.rules import (AdaptationGovernor, GovernorConfig,
+                              PolicyEngine, PolicyRule, Rule, RuleContext,
+                              compose_with_defaults, engine_from_spec,
+                              load_policy, register_rule, rule_names)
 from repro.core.templates import (APP_LABEL, COCADITEM_LABEL, CORE_LABEL,
                                   TRANSPORT_LABEL, VIEWSYNC_LABEL,
                                   control_template, fec_data_template,

@@ -19,6 +19,7 @@ group."*  Coordination protocol:
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Optional, Sequence
 
 from repro.core.local_module import LocalModule
@@ -42,6 +43,7 @@ class CoreSession(GroupSession):
             layer.params.get("evaluate_interval", 5.0))
         self.local_module: Optional[LocalModule] = None
         self.policy: Optional[Policy] = None
+        self._policy_takes_clock = False
         self.directory: Optional[ContextDirectory] = None
         #: Configuration the coordinator believes is deployed everywhere.
         self.deployed_name: str = "plain"
@@ -85,6 +87,18 @@ class CoreSession(GroupSession):
         self.deployed_name = initial_config_name
         self.deployed_members = tuple(sorted(initial_members)) \
             if initial_members is not None else None
+        # Engine-aware dispatch, decided once: a PolicyEngine takes the
+        # evaluation clock (governor windows in simulated seconds) and the
+        # group key (per-group decision state); a classic two-argument
+        # policy keeps its old calling convention.
+        try:
+            signature = inspect.signature(policy.decide)
+            params = signature.parameters
+            self._policy_takes_clock = "now" in params and "group" in params \
+                or any(p.kind is inspect.Parameter.VAR_KEYWORD
+                       for p in params.values())
+        except (TypeError, ValueError):  # builtins, exotic callables
+            self._policy_takes_clock = False
 
     # -- protocol ---------------------------------------------------------------
 
@@ -141,7 +155,12 @@ class CoreSession(GroupSession):
         if self._active_plan is not None:
             self._resend_pending(channel)
             return
-        plan = self.policy.decide(self.directory, list(self.members))
+        if self._policy_takes_clock:
+            plan = self.policy.decide(self.directory, list(self.members),
+                                      now=channel.kernel.now(),
+                                      group=self.group)
+        else:
+            plan = self.policy.decide(self.directory, list(self.members))
         if plan is None:
             return
         members_now = tuple(sorted(self.members))

@@ -5,107 +5,38 @@ information in order to select the more adequate configuration"*, applying
 **global** optimization policies — the paper's argument for keeping
 adaptation logic out of the protocols themselves (§2).
 
-A policy inspects the :class:`ContextDirectory` (fed by Cocaditem) and
-returns a :class:`ReconfigurationPlan`: a configuration name plus one
-channel template per node (the coordinator *"sends to each participant the
-configuration that should be deployed at that node"*).
+Since the declarative rewrite the real machinery lives in
+:mod:`repro.core.rules`: policies are ordered rule lists evaluated by a
+:class:`~repro.core.rules.engine.PolicyEngine`, with hysteresis state
+owned by the engine per group and an optional
+:class:`~repro.core.rules.governor.AdaptationGovernor` rate-limiting
+reconfiguration.  The classes below are the legacy names, kept as thin
+shims: each is a one-rule (or adapter) engine producing bit-identical
+plans to its hand-written predecessor, ungoverned by default.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional, Protocol, Sequence
+from typing import Callable, Optional, Sequence, Union
 
-from repro.context.model import (BATTERY, DEVICE_TYPE, LINK_QUALITY,
-                                 ContextSample, topic_for)
-from repro.context.pubsub import TopicBus
-from repro.kernel.xml_config import ChannelTemplate
-from repro.core.templates import (fec_data_template, mecho_data_template,
-                                  plain_data_template)
+from repro.core.rules.builtin import (BatteryRotationRule, HybridMechoRule,
+                                      LossAdaptiveRule)
+from repro.core.rules.engine import PolicyEngine, PolicyRule
+from repro.core.rules.governor import AdaptationGovernor
+from repro.core.rules.plan import (ContextDirectory, Policy,
+                                   ReconfigurationPlan, best_battery_relay,
+                                   lowest_id_relay)
 
-
-class ContextDirectory:
-    """Latest known context sample per (node, attribute).
-
-    Subscribes to the whole ``context.*`` subtree of a node-local bus, which
-    Cocaditem feeds with both local and remote snapshots.
-    """
-
-    def __init__(self, bus: TopicBus) -> None:
-        self._latest: dict[tuple[str, str], ContextSample] = {}
-        self._subscription = bus.subscribe("context.*", self._absorb)
-
-    def _absorb(self, topic: str, sample: ContextSample) -> None:
-        self._latest[(sample.node_id, sample.attribute)] = sample
-
-    # -- queries -----------------------------------------------------------
-
-    def value(self, node_id: str, attribute: str,
-              default: Any = None) -> Any:
-        sample = self._latest.get((node_id, attribute))
-        return sample.value if sample is not None else default
-
-    def knows(self, node_id: str, attribute: str) -> bool:
-        return (node_id, attribute) in self._latest
-
-    def covers(self, members: Sequence[str], attribute: str) -> bool:
-        """True when ``attribute`` is known for every member."""
-        return all(self.knows(member, attribute) for member in members)
-
-    def device_kinds(self, members: Sequence[str]) -> dict[str, list[str]]:
-        """Members partitioned by device type (unknown members omitted)."""
-        kinds: dict[str, list[str]] = {"fixed": [], "mobile": []}
-        for member in members:
-            kind = self.value(member, DEVICE_TYPE)
-            if kind in kinds:
-                kinds[kind].append(member)
-        return kinds
-
-    def is_hybrid(self, members: Sequence[str]) -> bool:
-        """Hybrid scenario: at least one fixed and one mobile member."""
-        kinds = self.device_kinds(members)
-        return bool(kinds["fixed"]) and bool(kinds["mobile"])
+__all__ = [
+    "ContextDirectory", "ReconfigurationPlan", "Policy",
+    "lowest_id_relay", "best_battery_relay",
+    "HybridMechoPolicy", "ThresholdBatteryRotationPolicy",
+    "LossAdaptivePolicy", "CompositePolicy", "StaticPolicy",
+]
 
 
-@dataclass
-class ReconfigurationPlan:
-    """A named configuration with one template per node."""
-
-    name: str
-    templates: dict[str, ChannelTemplate] = field(default_factory=dict)
-
-    def template_for(self, node_id: str) -> ChannelTemplate:
-        return self.templates[node_id]
-
-
-class Policy(Protocol):
-    """Decides the adequate configuration for the current context."""
-
-    def decide(self, directory: ContextDirectory,
-               members: Sequence[str]) -> Optional[ReconfigurationPlan]:
-        """Return the desired plan, or ``None`` when undecidable (e.g. the
-        context of some member is not yet known)."""
-        ...  # pragma: no cover - protocol declaration
-
-
-def lowest_id_relay(directory: ContextDirectory,
-                    fixed_members: Sequence[str]) -> str:
-    """Default relay selection: deterministic lowest identifier."""
-    return sorted(fixed_members)[0]
-
-
-def best_battery_relay(directory: ContextDirectory,
-                       candidates: Sequence[str]) -> str:
-    """Energy-aware relay selection (paper §1, [20]): fullest battery wins;
-    ties break deterministically by identifier."""
-    def score(member: str) -> tuple[float, str]:
-        battery = directory.value(member, BATTERY, default=0.0)
-        return (-battery, member)
-    return sorted(candidates, key=score)[0]
-
-
-class HybridMechoPolicy:
-    """The paper's demonstration policy (§3.4, §4).
+class HybridMechoPolicy(PolicyEngine):
+    """The paper's demonstration policy (§3.4, §4) — engine shim.
 
     *Hybrid* membership (fixed + mobile devices) → deploy Mecho: wired mode
     on fixed nodes, wireless mode with a selected fixed relay on mobile
@@ -113,74 +44,45 @@ class HybridMechoPolicy:
 
     Args:
         relay_selector: picks the relay among fixed members (defaults to the
-            deterministic lowest id; pass :func:`best_battery_relay` for the
-            energy-aware variant).
+            deterministic lowest id; pass :func:`best_battery_relay` or the
+            string ``"best_battery"`` for the energy-aware variant).
         stack_options: keyword arguments forwarded to the template builders
             (ordering, heartbeat/nack intervals, app layer).
+        governor: optional adaptation governor (ungoverned by default, so
+            plans match the pre-engine policy bit for bit).
     """
 
-    def __init__(self, relay_selector=lowest_id_relay,
-                 stack_options: Optional[dict] = None) -> None:
-        self.relay_selector = relay_selector
-        self.stack_options = dict(stack_options or {})
-
-    def decide(self, directory: ContextDirectory,
-               members: Sequence[str]) -> Optional[ReconfigurationPlan]:
-        if not members or not directory.covers(members, DEVICE_TYPE):
-            return None  # distributed context not yet known: wait
-        kinds = directory.device_kinds(members)
-        if directory.is_hybrid(members):
-            relay = self.relay_selector(directory, kinds["fixed"])
-            plan = ReconfigurationPlan(name=f"hybrid:relay={relay}")
-            for member in members:
-                mode = "wired" if member in kinds["fixed"] else "wireless"
-                plan.templates[member] = mecho_data_template(
-                    members, mode=mode, relay=relay, **self.stack_options)
-            return plan
-        plan = ReconfigurationPlan(name="plain")
-        for member in members:
-            plan.templates[member] = plain_data_template(
-                members, **self.stack_options)
-        return plan
+    def __init__(self, relay_selector: Union[str, Callable] = lowest_id_relay,
+                 stack_options: Optional[dict] = None,
+                 governor: Optional[AdaptationGovernor] = None) -> None:
+        super().__init__(
+            (HybridMechoRule(relay_selector=relay_selector,
+                             stack_options=stack_options),),
+            governor=governor)
 
 
-class ThresholdBatteryRotationPolicy:
+class ThresholdBatteryRotationPolicy(PolicyEngine):
     """Energy-aware extension: rotate the relay to the fullest battery.
 
     For all-mobile groups (ad hoc scenario) this keeps the relay burden —
     and hence battery drain — balanced, extending the time until the first
     device dies (the network-lifetime metric of [20]).  A new plan is only
     produced when the current relay's battery trails the best candidate by
-    more than ``hysteresis`` (avoiding reconfiguration thrash).
+    more than ``hysteresis`` (avoiding reconfiguration thrash).  The
+    relay memory is engine-owned and per-group — the former per-instance
+    ``_current_relay`` attribute leaked across group reuse.
     """
 
     def __init__(self, hysteresis: float = 0.08,
-                 stack_options: Optional[dict] = None) -> None:
-        self.hysteresis = hysteresis
-        self.stack_options = dict(stack_options or {})
-        self._current_relay: Optional[str] = None
-
-    def decide(self, directory: ContextDirectory,
-               members: Sequence[str]) -> Optional[ReconfigurationPlan]:
-        if not members or not directory.covers(members, BATTERY):
-            return None
-        best = best_battery_relay(directory, members)
-        if self._current_relay is not None and \
-                self._current_relay in members:
-            current_level = directory.value(self._current_relay, BATTERY, 0.0)
-            best_level = directory.value(best, BATTERY, 0.0)
-            if best_level - current_level < self.hysteresis:
-                best = self._current_relay
-        self._current_relay = best
-        plan = ReconfigurationPlan(name=f"rotating:relay={best}")
-        for member in members:
-            mode = "wired" if member == best else "wireless"
-            plan.templates[member] = mecho_data_template(
-                members, mode=mode, relay=best, **self.stack_options)
-        return plan
+                 stack_options: Optional[dict] = None,
+                 governor: Optional[AdaptationGovernor] = None) -> None:
+        super().__init__(
+            (BatteryRotationRule(hysteresis=hysteresis,
+                                 stack_options=stack_options),),
+            governor=governor)
 
 
-class LossAdaptivePolicy:
+class LossAdaptivePolicy(PolicyEngine):
     """Error-recovery adaptation (§2): ARQ at low loss, FEC at high loss.
 
     *"For small error rates it is preferable to detect and recover (using
@@ -188,56 +90,32 @@ class LossAdaptivePolicy:
     the errors (using forward error recovery techniques)."*  The decision
     attribute is the disseminated ``link_quality`` (loss probability) of the
     worst member link; hysteresis prevents flapping around the threshold.
+    The FEC on/off memory is engine-owned and per-group — the former
+    per-instance ``_fec_active`` attribute leaked across group reuse.
     """
 
     def __init__(self, threshold: float = 0.08, hysteresis: float = 0.02,
                  k: int = 8, m: int = 2,
-                 stack_options: Optional[dict] = None) -> None:
-        self.threshold = threshold
-        self.hysteresis = hysteresis
-        self.k = k
-        self.m = m
-        self.stack_options = dict(stack_options or {})
-        self._fec_active = False
-
-    def decide(self, directory: ContextDirectory,
-               members: Sequence[str]) -> Optional[ReconfigurationPlan]:
-        if not members or not directory.covers(members, LINK_QUALITY):
-            return None
-        worst = max(directory.value(member, LINK_QUALITY, 0.0)
-                    for member in members)
-        enter = self.threshold + (0 if self._fec_active else self.hysteresis)
-        leave = self.threshold - (0 if not self._fec_active else self.hysteresis)
-        if self._fec_active:
-            self._fec_active = worst >= leave
-        else:
-            self._fec_active = worst >= enter
-        if self._fec_active:
-            plan = ReconfigurationPlan(name=f"fec(k={self.k},m={self.m})")
-            for member in members:
-                plan.templates[member] = fec_data_template(
-                    members, k=self.k, m=self.m, **self.stack_options)
-            return plan
-        plan = ReconfigurationPlan(name="plain")
-        for member in members:
-            plan.templates[member] = plain_data_template(
-                members, **self.stack_options)
-        return plan
+                 stack_options: Optional[dict] = None,
+                 governor: Optional[AdaptationGovernor] = None) -> None:
+        super().__init__(
+            (LossAdaptiveRule(threshold=threshold, hysteresis=hysteresis,
+                              k=k, m=m, stack_options=stack_options),),
+            governor=governor)
 
 
-class CompositePolicy:
-    """First-match combination of policies (global policy layering)."""
+class CompositePolicy(PolicyEngine):
+    """First-match combination of policies (global policy layering).
 
-    def __init__(self, *policies: Policy) -> None:
+    Each sub-policy rides the engine as an adapter rule; evaluation order
+    is argument order and the first plan wins, exactly as before.
+    """
+
+    def __init__(self, *policies: Policy,
+                 governor: Optional[AdaptationGovernor] = None) -> None:
         self.policies = policies
-
-    def decide(self, directory: ContextDirectory,
-               members: Sequence[str]) -> Optional[ReconfigurationPlan]:
-        for policy in self.policies:
-            plan = policy.decide(directory, members)
-            if plan is not None:
-                return plan
-        return None
+        super().__init__(tuple(PolicyRule(policy) for policy in policies),
+                         governor=governor)
 
 
 class StaticPolicy:
@@ -247,5 +125,7 @@ class StaticPolicy:
         self.plan = plan
 
     def decide(self, directory: ContextDirectory,
-               members: Sequence[str]) -> Optional[ReconfigurationPlan]:
+               members: Sequence[str],
+               now: Optional[float] = None,
+               group: Optional[str] = None) -> Optional[ReconfigurationPlan]:
         return self.plan

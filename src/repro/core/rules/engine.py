@@ -1,0 +1,115 @@
+"""The policy engine: ordered rules, per-group state, governed output.
+
+A :class:`PolicyEngine` is itself a valid legacy ``Policy`` — its
+``decide`` accepts the classic ``(directory, members)`` call — but the
+core layer passes two extra keywords when available: ``now`` (simulated
+time, for governor windows) and ``group`` (so one engine instance can
+serve many groups without decisions bleeding between them).  Rules are
+evaluated in order and the first plan wins; the governor then decides
+whether acting on that plan is admissible right now.
+
+Decision state discipline: every rule gets a private per-(group, rule)
+dict through :class:`~repro.core.rules.base.RuleContext`, created lazily
+and owned here.  This is the fix for the legacy policies' per-instance
+``_current_relay``/``_fec_active`` attributes, which leaked hysteresis
+across group reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.rules.base import Rule, RuleContext
+from repro.core.rules.governor import AdaptationGovernor, GovernorState
+from repro.core.rules.plan import (ContextDirectory, Policy,
+                                   ReconfigurationPlan)
+
+_DEFAULT_GROUP = "default"
+
+
+class _GroupState:
+    """Everything the engine remembers about one group."""
+
+    __slots__ = ("rule_state", "governor", "ticks")
+
+    def __init__(self, governor: Optional[GovernorState]) -> None:
+        self.rule_state: dict[int, dict] = {}
+        self.governor = governor
+        #: Fallback clock: advances by one per ungoverned-clock decide().
+        self.ticks = 0
+
+
+class PolicyEngine:
+    """First-match rule evaluation with engine-owned decision state."""
+
+    def __init__(self, rules: Sequence[Rule],
+                 governor: Optional[AdaptationGovernor] = None) -> None:
+        self.rules = tuple(rules)
+        self.governor = governor
+        self._groups: dict[str, _GroupState] = {}
+
+    # -- group state --------------------------------------------------------
+
+    def _group_state(self, group: str) -> _GroupState:
+        state = self._groups.get(group)
+        if state is None:
+            governor = self.governor.fresh_state() \
+                if self.governor is not None else None
+            state = self._groups[group] = _GroupState(governor)
+        return state
+
+    def state_of(self, group: str, rule_index: int) -> dict:
+        """The per-(group, rule) decision dict (introspection, tests)."""
+        return self._group_state(group).rule_state.setdefault(rule_index, {})
+
+    def reset_group(self, group: str) -> None:
+        """Forget everything about ``group`` (it dissolved or restarted)."""
+        self._groups.pop(group, None)
+
+    # -- decision -----------------------------------------------------------
+
+    def decide(self, directory: ContextDirectory, members: Sequence[str],
+               now: Optional[float] = None,
+               group: Optional[str] = None) -> Optional[ReconfigurationPlan]:
+        """Evaluate the rules; return the admitted plan or ``None``.
+
+        Without a caller clock the engine counts ``decide`` calls, so
+        governor windows degrade to evaluation ticks — deterministic
+        either way.
+        """
+        state = self._group_state(group or _DEFAULT_GROUP)
+        if now is None:
+            state.ticks += 1
+            now = float(state.ticks)
+        plan: Optional[ReconfigurationPlan] = None
+        for index, rule in enumerate(self.rules):
+            ctx = RuleContext(
+                directory, members,
+                state=state.rule_state.setdefault(index, {}),
+                group=group or _DEFAULT_GROUP, now=now)
+            plan = rule.evaluate(ctx)
+            if plan is not None:
+                break
+        if plan is None:
+            return None
+        if state.governor is not None and self.governor is not None and \
+                not self.governor.admit(state.governor, plan.name, now):
+            return None
+        return plan
+
+
+class PolicyRule:
+    """Adapter: wrap a legacy ``Policy`` object as a rule.
+
+    Lets hand-written policies ride inside an engine (and powers the
+    ``CompositePolicy`` shim).  The wrapped policy keeps its own state
+    conventions — the adapter adds nothing.
+    """
+
+    rule_name = "policy_adapter"
+
+    def __init__(self, policy: Policy) -> None:
+        self.policy = policy
+
+    def evaluate(self, ctx: RuleContext) -> Optional[ReconfigurationPlan]:
+        return self.policy.decide(ctx.directory, ctx.members)

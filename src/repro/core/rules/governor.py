@@ -1,0 +1,86 @@
+"""The adaptation governor: budgets and flap damping for reconfiguration.
+
+The policy engine asks the governor before acting on a rule's decision.
+Two independent brakes, both built on :mod:`repro.kernel.damping`:
+
+* a **reconfiguration budget** — at most ``budget`` plan *changes* per
+  ``window`` (pytaskforce-style hard cap: config decides, code enforces);
+* **flap damping** — a plan name (and with it a relay choice) that flips
+  more than ``flap_limit`` times per window freezes adaptation for
+  ``cooldown``: under bursty loss the context oscillates faster than a
+  reconfiguration round can complete, and redeploying on every oscillation
+  starves the group of useful work.
+
+A rejected change never surfaces a plan: the engine returns ``None`` and
+the running configuration stays put until the freeze expires.  All state
+is per group and time comes from the caller, so governed decisions replay
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.kernel.damping import FlapDamper, WindowBudget
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """Declarative governor parameters (all zero = ungoverned).
+
+    ``window``/``cooldown`` are in the engine's clock units: seconds of
+    simulated time when the core layer drives the engine, abstract
+    evaluation ticks when ``decide`` is called without a clock.
+    """
+
+    budget: int = 0          #: admitted plan changes per window (0 = off)
+    flap_limit: int = 0      #: tolerated plan flips per window (0 = off)
+    window: float = 30.0     #: sliding window length
+    cooldown: float = 60.0   #: freeze length once a brake trips
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget > 0 or self.flap_limit > 0
+
+
+class GovernorState:
+    """Per-group brake state (owned by the engine, one per group)."""
+
+    __slots__ = ("current", "budget", "damper")
+
+    def __init__(self, config: GovernorConfig) -> None:
+        self.current: Optional[str] = None
+        self.budget = WindowBudget(config.budget, config.window,
+                                   config.cooldown)
+        self.damper = FlapDamper(config.flap_limit, config.window,
+                                 config.cooldown)
+
+
+class AdaptationGovernor:
+    """Admission control for plan changes."""
+
+    def __init__(self, config: Optional[GovernorConfig] = None) -> None:
+        self.config = config or GovernorConfig()
+        #: Plan changes refused (budget exhausted or flap-frozen).
+        self.rejected = 0
+
+    def fresh_state(self) -> GovernorState:
+        return GovernorState(self.config)
+
+    def admit(self, state: GovernorState, plan_name: str,
+              now: float) -> bool:
+        """May the group move to (or stay on) ``plan_name`` at ``now``?"""
+        if plan_name == state.current:
+            # Not a change: keep the damper's window sliding so old flips
+            # age out, but spend no budget.
+            state.damper.observe(plan_name, now)
+            return True
+        if state.damper.observe(plan_name, now):
+            self.rejected += 1
+            return False
+        if not state.budget.admit(now):
+            self.rejected += 1
+            return False
+        state.current = plan_name
+        return True

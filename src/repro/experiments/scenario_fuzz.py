@@ -20,6 +20,7 @@ artifact when it trips.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import Optional
@@ -35,6 +36,10 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="number of scenarios to generate and run")
     parser.add_argument("--mix", choices=sorted(MIXES), default="uniform",
                         help="event-kind weight profile")
+    parser.add_argument("--policy-fuzz", action="store_true",
+                        help="every scenario draws a random declarative "
+                             "rule set (and often a governor) instead of "
+                             "the fixed hybrid policy")
     parser.add_argument("--shrink", action="store_true",
                         help="minimize failures to a reproducer")
     parser.add_argument("--corpus-dir", type=str, default=None,
@@ -51,9 +56,11 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     log = (lambda line: None) if args.quiet else \
         (lambda line: print(line, file=sys.stderr))
+    config = dataclasses.replace(MIXES[args.mix], rules_p=1.0) \
+        if args.policy_fuzz else None
     start = time.perf_counter()
     outcomes = run_fuzz(
-        seed=args.seed, runs=args.runs, mix=args.mix,
+        seed=args.seed, runs=args.runs, mix=args.mix, config=config,
         parity_every=args.parity_every,
         shrink_failures=args.shrink or args.corpus_dir is not None,
         corpus_dir=args.corpus_dir,
@@ -62,7 +69,8 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     failures = [outcome for outcome in outcomes if outcome.failed]
     parity_checked = sum(1 for outcome in outcomes if outcome.parity_checked)
-    print(f"scenario_fuzz: seed={args.seed} mix={args.mix} "
+    print(f"scenario_fuzz: seed={args.seed} mix={args.mix}"
+          f"{' policy-fuzz' if args.policy_fuzz else ''} "
           f"runs={len(outcomes)} failures={len(failures)} "
           f"parity_checked={parity_checked} wall={wall:.1f}s")
     for outcome in failures:

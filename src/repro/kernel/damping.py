@@ -1,0 +1,117 @@
+"""Flap damping and windowed budgets — rate-control primitives.
+
+Two small, deterministic mechanisms shared by the adaptation governor
+(:mod:`repro.core.rules`) and the heartbeat failure detector:
+
+* :class:`WindowBudget` — at most ``limit`` admissions per sliding
+  ``window``; exhausting the budget freezes further admissions for a
+  ``cooldown``.  Used to cap how often the failure detector's observation
+  windows may be reset by path changes, and how many reconfigurations the
+  governor admits per window.
+* :class:`FlapDamper` — watches a decision value (a relay id, a plan
+  name); a value that *flips* more than ``limit`` times inside ``window``
+  freezes the decision for ``cooldown``.  Used by the governor so a
+  relay/plan oscillating under bursty loss cannot thrash the stack.
+
+Both work on a caller-supplied monotonic clock (seconds of simulated time
+or abstract evaluation ticks — the units only need to be consistent), hold
+O(limit) state, and are pure bookkeeping: no timers, no events, no
+randomness, so replays stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+
+class WindowBudget:
+    """Sliding-window admission budget with a freeze on exhaustion.
+
+    ``limit <= 0`` disables the budget (everything admitted) so callers
+    can thread configuration through without branching.
+    """
+
+    def __init__(self, limit: int, window: float, cooldown: float) -> None:
+        self.limit = int(limit)
+        self.window = float(window)
+        self.cooldown = float(cooldown)
+        self._admitted: deque[float] = deque()
+        self._frozen_until: Optional[float] = None
+        #: Admissions refused while frozen or over budget (diagnostics).
+        self.refused = 0
+
+    def frozen(self, now: float) -> bool:
+        return self._frozen_until is not None and now < self._frozen_until
+
+    def admit(self, now: float) -> bool:
+        """Try to spend one unit of budget at ``now``."""
+        if self.limit <= 0:
+            return True
+        if self.frozen(now):
+            self.refused += 1
+            return False
+        self._frozen_until = None
+        while self._admitted and now - self._admitted[0] > self.window:
+            self._admitted.popleft()
+        if len(self._admitted) >= self.limit:
+            self._frozen_until = now + self.cooldown
+            self.refused += 1
+            return False
+        self._admitted.append(now)
+        return True
+
+
+class FlapDamper:
+    """Freeze a decision that flips more than ``limit`` times per window.
+
+    :meth:`observe` is called with every (re)computed decision value; a
+    *flip* is a change from the previously observed value.  While frozen,
+    :meth:`observe` keeps reporting ``True`` and the caller is expected to
+    hold its previous decision (or decline to act).  ``limit <= 0``
+    disables damping.
+    """
+
+    def __init__(self, limit: int, window: float, cooldown: float) -> None:
+        self.limit = int(limit)
+        self.window = float(window)
+        self.cooldown = float(cooldown)
+        self._last: Any = _UNSET
+        self._flips: deque[float] = deque()
+        self._frozen_until: Optional[float] = None
+        #: Flips swallowed while frozen (diagnostics).
+        self.suppressed = 0
+
+    def frozen(self, now: float) -> bool:
+        return self._frozen_until is not None and now < self._frozen_until
+
+    def observe(self, value: Any, now: float) -> bool:
+        """Record ``value`` at ``now``; return True while damping."""
+        if self.limit <= 0:
+            self._last = value
+            return False
+        if self.frozen(now):
+            self.suppressed += 1
+            return True
+        self._frozen_until = None
+        while self._flips and now - self._flips[0] > self.window:
+            self._flips.popleft()
+        if self._last is not _UNSET and value != self._last:
+            self._flips.append(now)
+            if len(self._flips) > self.limit:
+                self._frozen_until = now + self.cooldown
+                self._flips.clear()
+                self.suppressed += 1
+                return True
+        self._last = value
+        return False
+
+
+class _Unset:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+_UNSET = _Unset()

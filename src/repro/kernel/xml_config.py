@@ -174,11 +174,72 @@ class ChannelTemplate:
         return channel
 
 
+@dataclass(frozen=True)
+class RuleSpec:
+    """One ``<rule>`` element: registered rule name plus parameters.
+
+    Pure data, like :class:`LayerSpec` — the kernel only describes the
+    rule; :mod:`repro.core.rules` resolves the name against its registry
+    and instantiates it.
+    """
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_element(self) -> ET.Element:
+        attrs = {"name": self.name}
+        for key in sorted(self.params):
+            attrs[key] = _render_scalar(self.params[key])
+        return ET.Element("rule", attrs)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A named ``<policy>``: ordered rules plus governor parameters.
+
+    Format (rules listed in evaluation order, first match wins)::
+
+        <policy name="adaptive">
+          <governor budget="4" flap_limit="3" window="30" cooldown="60"/>
+          <rule name="loss_adaptive" threshold="0.08" hysteresis="0.02"/>
+          <rule name="hybrid_mecho"/>
+        </policy>
+
+    The ``<governor>`` element is optional; its attributes are coerced
+    scalars handed to the adaptation governor unchanged.
+    """
+
+    name: str
+    rules: tuple[RuleSpec, ...]
+    governor: dict[str, Any] = field(default_factory=dict)
+
+    def to_xml(self) -> str:
+        """Render as a standalone ``<policy>`` fragment."""
+        root = ET.Element("policy", {"name": self.name})
+        if self.governor:
+            attrs = {key: _render_scalar(self.governor[key])
+                     for key in sorted(self.governor)}
+            root.append(ET.Element("governor", attrs))
+        for rule in self.rules:
+            root.append(rule.to_element())
+        return ET.tostring(root, encoding="unicode")
+
+    @staticmethod
+    def from_xml(text: str) -> "PolicySpec":
+        """Parse a standalone ``<policy>`` fragment."""
+        try:
+            element = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ConfigurationError(f"malformed policy XML: {exc}") from exc
+        return _parse_policy(element)
+
+
 def parse_config(text: str) -> dict[str, ChannelTemplate]:
     """Parse a full ``<morpheus>`` document into templates by name.
 
     Accepts ``<template>`` wrappers (name defaulting the channel name) and
-    bare ``<channel>`` children.
+    bare ``<channel>`` children; ``<policy>`` elements are legal siblings
+    (read by :func:`parse_policy_config`) and skipped here.
     """
     try:
         root = ET.fromstring(text)
@@ -196,6 +257,8 @@ def parse_config(text: str) -> dict[str, ChannelTemplate]:
                 channel_elements[0], default_name=child.get("name"))
         elif child.tag == "channel":
             template = _parse_channel(child)
+        elif child.tag == "policy":
+            continue
         else:
             raise ConfigurationError(f"unexpected element <{child.tag}>")
         if template.name in templates:
@@ -204,8 +267,27 @@ def parse_config(text: str) -> dict[str, ChannelTemplate]:
     return templates
 
 
-def dump_config(templates: dict[str, ChannelTemplate]) -> str:
-    """Render templates back into a ``<morpheus>`` document."""
+def parse_policy_config(text: str) -> dict[str, PolicySpec]:
+    """Parse the ``<policy>`` elements of a ``<morpheus>`` document."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ConfigurationError(f"malformed configuration XML: {exc}") from exc
+    policies: dict[str, PolicySpec] = {}
+    for child in root:
+        if child.tag != "policy":
+            continue
+        policy = _parse_policy(child)
+        if policy.name in policies:
+            raise ConfigurationError(f"duplicate policy {policy.name!r}")
+        policies[policy.name] = policy
+    return policies
+
+
+def dump_config(templates: dict[str, ChannelTemplate],
+                policies: Optional[dict[str, PolicySpec]] = None) -> str:
+    """Render templates (and optional policies) into a ``<morpheus>``
+    document that :func:`parse_config`/:func:`parse_policy_config` round-trip."""
     parts = ["<morpheus>"]
     for name in sorted(templates):
         template = templates[name]
@@ -213,6 +295,9 @@ def dump_config(templates: dict[str, ChannelTemplate]) -> str:
         for line in template.to_xml().splitlines():
             parts.append(f"    {line}")
         parts.append("  </template>")
+    for name in sorted(policies or {}):
+        for line in policies[name].to_xml().splitlines():
+            parts.append(f"  {line}")
     parts.append("</morpheus>")
     return "\n".join(parts)
 
@@ -239,3 +324,33 @@ def _parse_channel(element: ET.Element,
     if not specs:
         raise ConfigurationError(f"channel {name!r} has no layers")
     return ChannelTemplate(name, tuple(specs))
+
+
+def _parse_policy(element: ET.Element) -> PolicySpec:
+    name = element.get("name")
+    if not name:
+        raise ConfigurationError("<policy> element is missing a name")
+    rules: list[RuleSpec] = []
+    governor: dict[str, Any] = {}
+    for child in element:
+        if child.tag == "governor":
+            if governor:
+                raise ConfigurationError(
+                    f"policy {name!r} has more than one <governor>")
+            governor = {key: coerce_scalar(value)
+                        for key, value in child.attrib.items()}
+        elif child.tag == "rule":
+            rule_name = child.get("name")
+            if not rule_name:
+                raise ConfigurationError(
+                    f"<rule> inside policy {name!r} is missing a name")
+            params = {key: coerce_scalar(value)
+                      for key, value in child.attrib.items()
+                      if key not in _RESERVED_ATTRS}
+            rules.append(RuleSpec(name=rule_name, params=params))
+        else:
+            raise ConfigurationError(
+                f"unexpected element <{child.tag}> inside policy {name!r}")
+    if not rules:
+        raise ConfigurationError(f"policy {name!r} has no rules")
+    return PolicySpec(name, tuple(rules), governor)

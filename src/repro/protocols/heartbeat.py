@@ -14,6 +14,7 @@ and a crashed member is eventually suspected by everyone.
 
 from __future__ import annotations
 
+from repro.kernel.damping import WindowBudget
 from repro.kernel.events import Event, TimerEvent
 from repro.kernel.layer import Layer
 from repro.kernel.registry import register_layer
@@ -38,6 +39,19 @@ class HeartbeatSession(GroupSession):
         # p = 0.3 is ~0.07 % per window.
         self.suspect_timeout: float = float(
             layer.params.get("suspect_timeout", 6.0 * self.interval))
+        # Path-change resets are rationed: a genuinely dying relay causes
+        # one or two path changes, but a relay *flapping* under bursty
+        # loss causes one per oscillation — and every reset pushes all
+        # observation windows back to zero, so a member that went silent
+        # during the flapping is never suspected (suspicion starvation).
+        # Budgeting the resets bounds the starvation window to roughly
+        # (limit + 1) timeouts.
+        self.path_reset_budget = WindowBudget(
+            limit=int(layer.params.get("path_reset_limit", 3)),
+            window=float(layer.params.get("path_reset_window",
+                                          self.suspect_timeout)),
+            cooldown=float(layer.params.get("path_reset_cooldown",
+                                            self.suspect_timeout)))
         self.last_heard: dict[str, float] = {}
         self.suspected: set[str] = set()
         self._timer_armed = False
@@ -67,11 +81,14 @@ class HeartbeatSession(GroupSession):
             return
         if isinstance(event, PathChangedEvent):
             # The dissemination path changed: restart the observation
-            # window for everyone not already declared suspect.
+            # window for everyone not already declared suspect — but only
+            # within budget, so a flapping path cannot starve suspicion
+            # by resetting the windows forever.
             now = self._now(event.channel)
-            for member in self.others():
-                if member not in self.suspected:
-                    self.last_heard[member] = now
+            if self.path_reset_budget.admit(now):
+                for member in self.others():
+                    if member not in self.suspected:
+                        self.last_heard[member] = now
             return
         event.go()
 
@@ -142,7 +159,10 @@ class HeartbeatLayer(Layer):
     """Heartbeat-based failure detection.
 
     Parameters: ``interval`` (beacon period, seconds), ``suspect_timeout``
-    (silence threshold; default ``3 × interval``).
+    (silence threshold; default ``6 × interval``), ``path_reset_limit`` /
+    ``path_reset_window`` / ``path_reset_cooldown`` (ration on
+    path-change window resets; window and cooldown default to
+    ``suspect_timeout``).
     """
 
     layer_name = "heartbeat"

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.kernel.damping import FlapDamper
 from repro.kernel.events import (Direction, Event, SendableEvent,
                                  TimerEvent)
 from repro.kernel.layer import Layer
@@ -69,6 +70,18 @@ class MechoSession(GroupSession):
         #: suspecting innocent peers whose beacons died with the relay.
         self.relay_timeout: float = float(
             layer.params.get("relay_timeout", 4.0))
+        # A relay oscillating between trusted and suspected under bursty
+        # loss emits a PathChangedEvent per transition, each one inviting
+        # the detector above to restart its observation windows.  Damp the
+        # *signal* when the trust state flips too often — the fall-back
+        # itself is never suppressed (a dead relay must always be routed
+        # around), only the window-reset notification upward.
+        self._path_damper = FlapDamper(
+            limit=int(layer.params.get("path_flap_limit", 4)),
+            window=float(layer.params.get("path_flap_window",
+                                          8.0 * self.relay_timeout)),
+            cooldown=float(layer.params.get("path_flap_cooldown",
+                                            8.0 * self.relay_timeout)))
         self._relay_heard = 0.0
         self._probe_handle = None
         #: Foreign-framed packets dropped (generation skew diagnostics).
@@ -83,6 +96,12 @@ class MechoSession(GroupSession):
     def _push_header(self, event: SendableEvent, kind: str,
                      origin: str) -> None:
         event.message.push_header((_HEADER_TAG, kind, origin))
+
+    def _path_changed(self, channel, trusted: bool) -> None:
+        """Signal a dissemination-path change upward, flap-damped."""
+        if not self._path_damper.observe(trusted,
+                                         channel.kernel.clock.now()):
+            self.send_up(PathChangedEvent(), channel=channel)
 
     # -- event handling ----------------------------------------------------------
 
@@ -118,7 +137,7 @@ class MechoSession(GroupSession):
         silence = now - self._relay_heard
         if silence > self.relay_timeout:
             self.suspected.add(self.relay)
-            self.send_up(PathChangedEvent(), channel=channel)
+            self._path_changed(channel, trusted=False)
             self.send_up(SuspectEvent(self.relay), channel=channel)
             return  # fall-back engaged; no further checks needed
         # Relayed traffic moved the deadline: sleep out the remainder.
@@ -138,13 +157,13 @@ class MechoSession(GroupSession):
                 # everyone's heartbeats — was routed through the dead
                 # relay, so the detector above must restart its window or
                 # it would wrongly suspect every other member next.
-                self.send_up(PathChangedEvent(), channel=event.channel)
+                self._path_changed(event.channel, trusted=False)
             return  # travelling down; the stack ends below us
         if isinstance(event, UnsuspectEvent):
             if event.member in self.suspected and \
                     self.mode == MODE_WIRELESS and event.member == self.relay:
                 self._relay_heard = event.channel.kernel.clock.now()
-                self.send_up(PathChangedEvent(), channel=event.channel)
+                self._path_changed(event.channel, trusted=True)
                 self._arm_probe(event.channel)  # relay trusted again
             self.suspected.discard(event.member)
             return
@@ -246,7 +265,11 @@ class MechoLayer(Layer):
     """Adaptive best-effort multicast with fixed-relay forwarding.
 
     Parameters: ``mode`` (``wired`` | ``wireless``), ``relay`` (node id of
-    the selected fixed relay), ``members`` (bootstrap CSV), ``group``.
+    the selected fixed relay), ``members`` (bootstrap CSV), ``group``,
+    ``relay_timeout`` (relay silence threshold, seconds),
+    ``path_flap_limit`` / ``path_flap_window`` / ``path_flap_cooldown``
+    (damping of relay trust-flap PathChanged signals; window and cooldown
+    default to ``8 × relay_timeout``).
     """
 
     layer_name = "mecho"

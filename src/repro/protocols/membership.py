@@ -195,6 +195,14 @@ class MembershipSession(GroupSession):
         #: _PROBE_MAX_TICKS; the handle's event carries the live
         #: interval/attempt state).
         self._lost_peers: dict[str, "TimerHandle"] = {}
+        #: Every peer this node has ever known of: bootstrap list, view
+        #: members, joiners, departed, join_req senders.  Probing is keyed
+        #: on this set, not just on suspicion-based losses: two singleton
+        #: lineages that never shared a view exchange *zero* packets
+        #: otherwise (beb fans out to view members only), so neither ever
+        #: discovers the other and both idle as mutually-invisible
+        #: fantasies forever.
+        self._known_peers: set[str] = set(self.members or ())
         self.held_view: Optional[View] = None
         #: Every ``(view_id, members)`` this session has installed, ever.
         #: The readmission exception consults it: an "install" that exactly
@@ -504,12 +512,18 @@ class MembershipSession(GroupSession):
         if self.phase is _Phase.STABLE and self._target_view is None:
             self._start_flush(hold=False, channel=event.channel)
         elif self._target_view is not None and \
-                not self._install_announced and \
-                self._target_view.includes(event.member):
-            # A participant of the running flush died: its ack will never
-            # arrive and the flush would wedge.  Restart towards a target
-            # that excludes it (same next view id, smaller membership —
-            # surviving members simply re-join the revised flush).
+                not self._install_announced:
+            # A flush is running and a current-view member died mid-round.
+            # Either it was a flush participant (its ack will never arrive)
+            # or it was the member *driving* the flush — acting
+            # coordinatorship just fell to this node, and nobody else will
+            # finish the round.  The second case is why this branch must
+            # not be gated on target membership: a leaver coordinating its
+            # own departure flush is absent from the target it announced,
+            # and when it dies mid-flush every survivor used to wedge in
+            # that flush forever.  Restart towards a target derived from
+            # current suspicions (surviving members simply re-join the
+            # revised flush).
             self._start_flush(hold=self._target_hold, channel=event.channel)
 
     def _on_stranger(self, event: StrangerEvent) -> None:
@@ -529,6 +543,7 @@ class MembershipSession(GroupSession):
         if self.view is None or self.view.includes(member) or \
                 member in self.banned:
             return
+        self._known_peers.add(member)
         self.pending_joiners.add(member)
         if self._flush_coordinator() == self.local:
             if self.phase is _Phase.STABLE:
@@ -752,6 +767,9 @@ class MembershipSession(GroupSession):
         their_coordinator = payload.get("coordinator")
         if self.view is None:
             return
+        self._known_peers.add(member)
+        if their_coordinator is not None:
+            self._known_peers.add(their_coordinator)
         if their_coordinator is not None and not self.view.includes(member) \
                 and their_coordinator < self._flush_coordinator() and \
                 self._accepts_foreign(
@@ -759,12 +777,21 @@ class MembershipSession(GroupSession):
                     payload.get("coordinator_incarnation", 0)):
             # The requester belongs to an established view whose coordinator
             # outranks ours AND whose claimed incarnation is plausibly live:
-            # the merge direction is theirs — our own probes will ask that
-            # side for admission instead (absorbing them here would let a
-            # stale high-numbered view swallow a healthy group).  A claim
-            # whose incarnation is not newer than our history for that
+            # the merge direction is theirs — the side with the *lowest*
+            # coordinator absorbs (absorbing them here would let a stale
+            # high-numbered view swallow a healthy group).  A claim whose
+            # incarnation is not newer than our history for that
             # coordinator is a zombie lineage: no deference — admit the
             # prober into this (live) side instead.
+            #
+            # Deference must not be silent: the prober may never have seen
+            # this node (a member admitted while the components were
+            # apart), in which case *its* side holds no probe pointing
+            # here and the two lineages would defer/retry forever.  A
+            # counter join_req carries this side's admission request to
+            # the absorbing side, which admits it by the same rule.
+            if not payload.get("forwarded"):
+                self._send_join_req(member, channel)
             return
         if self.view.includes(member):
             # Already admitted: the joiner lost the installation — repeat
@@ -965,6 +992,7 @@ class MembershipSession(GroupSession):
                  departed: tuple[str, ...] = (),
                  announcer: Optional[str] = None) -> None:
         previous = set(self.view.members) if self.view is not None else set()
+        self._known_peers.update(previous, view.members, joiners, departed)
         self._installed_history.add((view.view_id, tuple(view.members)))
         if view.stamp is not None:
             self._note_incarnation(view.stamp[0], view.stamp[1])
@@ -1011,6 +1039,17 @@ class MembershipSession(GroupSession):
                 # replaying (or extending alone) its pre-crash lineage
                 # cannot.
                 self._note_incarnation(peer, 0)
+        # Known peers outside the view are probed too, not only the ones
+        # lost from the *previous* view: a joiner partitioned away before
+        # it ever shared a view with us is invisible to the view-scoped
+        # fan-out, and without a probe the two components never merge
+        # after the heal.  No incarnation flooring here — a never-seen
+        # peer's first coordinatorship claim must stay acceptable.
+        missing = self._known_peers - set(view.members) - set(departed) \
+            - self.banned
+        for peer in sorted(missing):
+            if peer != self.local and peer not in self._lost_peers:
+                self._arm_probe(peer, channel)
         for peer in list(self._lost_peers):
             if view.includes(peer) or peer in self.banned:
                 self._drop_probe(peer)

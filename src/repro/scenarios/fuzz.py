@@ -86,6 +86,12 @@ class FuzzConfig:
     #: Probability that a generated scenario stacks total order on top of
     #: the reliable layer (exercises the cross-node ordering invariant).
     ordering_p: float = 0.2
+    #: Probability that a generated scenario carries a random declarative
+    #: rule set (and, half the time, a governor) instead of the named
+    #: policy — the ``--policy-fuzz`` campaign.  Zero keeps the draw
+    #: stream byte-identical to pre-rules campaigns, so existing corpus
+    #: entries regenerate unchanged.
+    rules_p: float = 0.0
     weights: tuple[tuple[str, float], ...] = (
         ("handoff", 2.0), ("crash", 2.0), ("recover", 2.0), ("leave", 1.0),
         ("setloss", 1.5), ("partition", 1.0), ("heal", 2.0))
@@ -197,6 +203,35 @@ def _draw_event(rng: random.Random, at: float, state: _GroupState,
     return Heal(at)
 
 
+def _draw_rules(rng: random.Random) -> tuple[tuple, tuple]:
+    """A random-but-valid declarative rule set (plus optional governor).
+
+    Every draw ends in a rule that always produces a plan, so a governed
+    engine can only ever *defer* adaptation, never leave the coordinator
+    without a decision path.
+    """
+    rules: list[tuple[str, tuple]] = []
+    shape = rng.random()
+    if shape < 0.15:
+        # Degenerate-but-valid: the group pins itself to the plain stack.
+        rules.append(("plain", ()))
+    else:
+        if rng.random() < 0.6:
+            rules.append(("loss_adaptive", (
+                ("threshold", round(rng.uniform(0.03, 0.15), 3)),
+                ("hysteresis", round(rng.uniform(0.0, 0.05), 3)),
+                ("k", rng.choice((4, 8))),
+                ("m", rng.choice((1, 2))))))
+        rules.append(("hybrid_mecho", ()))
+    governor: tuple = ()
+    if rng.random() < 0.5:
+        governor = (("budget", rng.randint(1, 4)),
+                    ("flap_limit", rng.randint(1, 3)),
+                    ("window", float(rng.choice((10.0, 20.0, 40.0)))),
+                    ("cooldown", float(rng.choice((15.0, 30.0, 60.0)))))
+    return tuple(rules), governor
+
+
 def generate_scenario(seed: int, index: int, mix: str = "uniform",
                       config: Optional[FuzzConfig] = None) -> Scenario:
     """Draw one valid scenario, fully determined by ``(seed, index, mix)``.
@@ -244,6 +279,12 @@ def generate_scenario(seed: int, index: int, mix: str = "uniform",
             interval=rng.choice((0.2, 0.25, 0.4, 0.5)), prefix=f"b{i}"))
 
     ordering = ("total",) if rng.random() < config.ordering_p else ()
+    # Short-circuit keeps the draw stream untouched when rules_p is zero,
+    # so pre-rules corpus entries regenerate byte-identically.
+    rules: tuple = ()
+    governor: tuple = ()
+    if config.rules_p > 0 and rng.random() < config.rules_p:
+        rules, governor = _draw_rules(rng)
     horizon = max([event_hi] + [b.start + b.count * b.interval
                                 for b in bursts])
     return Scenario(
@@ -253,6 +294,8 @@ def generate_scenario(seed: int, index: int, mix: str = "uniform",
         events=tuple(events),
         workload=tuple(bursts),
         ordering=ordering,
+        rules=rules,
+        governor=governor,
         wireless=bernoulli(0.02),
         heartbeat_interval=1.0,
     )
@@ -554,6 +597,9 @@ def scenario_to_dict(scenario: Scenario) -> dict:
                      for burst in scenario.workload],
         "policy": scenario.policy,
         "policy_options": [list(p) for p in scenario.policy_options],
+        "rules": [[name, [list(p) for p in params]]
+                  for name, params in scenario.rules],
+        "governor": [list(p) for p in scenario.governor],
         "ordering": list(scenario.ordering),
         "wired": _link_to_dict(scenario.wired),
         "wireless": _link_to_dict(scenario.wireless),
@@ -574,6 +620,9 @@ def scenario_from_dict(data: dict) -> Scenario:
         workload=tuple(ChatBurst(**burst) for burst in data["workload"]),
         policy=data.get("policy", "hybrid"),
         policy_options=tuple(tuple(p) for p in data.get("policy_options", [])),
+        rules=tuple((name, tuple(tuple(p) for p in params))
+                    for name, params in data.get("rules", [])),
+        governor=tuple(tuple(p) for p in data.get("governor", [])),
         ordering=tuple(data.get("ordering", [])),
         wired=_link_from_dict(data["wired"]),
         wireless=_link_from_dict(data["wireless"]),

@@ -32,6 +32,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.morpheus import MorpheusNode
 from repro.simnet.energy import Battery
+from repro.core.rules import (PolicyEngine, build_rule, governor_from_params)
 from repro.core.policy import (HybridMechoPolicy, LossAdaptivePolicy, Policy,
                                ThresholdBatteryRotationPolicy)
 from repro.simnet.engine import SimEngine
@@ -191,6 +192,15 @@ class ScenarioRunner:
             "nack_interval": self.scenario.nack_interval,
             "ordering": tuple(self.scenario.ordering),
         }
+        if self.scenario.rules:
+            # Declarative rule set (the policy-fuzz path): resolve every
+            # rule against the registry and govern the engine when the
+            # scenario drew governor parameters.
+            rules = tuple(build_rule(name, dict(params), stack_options)
+                          for name, params in self.scenario.rules)
+            return PolicyEngine(
+                rules,
+                governor=governor_from_params(dict(self.scenario.governor)))
         if self.scenario.policy == "loss_adaptive":
             return LossAdaptivePolicy(stack_options=stack_options, **options)
         if self.scenario.policy == "rotating":

@@ -156,6 +156,14 @@ class Scenario:
     workload: tuple[ChatBurst, ...] = ()
     policy: str = "hybrid"
     policy_options: tuple[tuple[str, float], ...] = ()
+    #: Declarative rule set overriding ``policy`` when non-empty: ordered
+    #: ``(rule_name, ((param, value), ...))`` pairs resolved against the
+    #: core rule registry at boot.  The fuzzer draws random-but-valid
+    #: rule sets through this field.
+    rules: tuple[tuple[str, tuple[tuple[str, float], ...]], ...] = ()
+    #: Adaptation-governor parameters for the rule engine (``budget``,
+    #: ``flap_limit``, ``window``, ``cooldown``); empty means ungoverned.
+    governor: tuple[tuple[str, float], ...] = ()
     #: Ordering layers for the data stack (``"causal"``/``"total"``); the
     #: fuzzer uses it to exercise the reliable+total delivery invariants.
     ordering: tuple[str, ...] = ()
@@ -196,6 +204,23 @@ class Scenario:
             if layer not in VALID_ORDERINGS:
                 raise ValueError(f"unknown ordering layer {layer!r} "
                                  f"(expected one of {VALID_ORDERINGS})")
+        for entry in self.rules:
+            if not (isinstance(entry, tuple) and len(entry) == 2 and
+                    isinstance(entry[0], str) and entry[0]):
+                raise ValueError(
+                    f"malformed rule entry {entry!r} (expected "
+                    "(name, ((param, value), ...)))")
+            for param in entry[1]:
+                if not (isinstance(param, tuple) and len(param) == 2 and
+                        isinstance(param[0], str)):
+                    raise ValueError(
+                        f"malformed rule parameter {param!r} in "
+                        f"rule {entry[0]!r}")
+        for param in self.governor:
+            if not (isinstance(param, tuple) and len(param) == 2 and
+                    isinstance(param[0], str)):
+                raise ValueError(
+                    f"malformed governor parameter {param!r}")
         if not self.initial_members():
             raise ValueError("scenario needs at least one t=0 node")
         seen: set[str] = set()

@@ -1,0 +1,77 @@
+"""Rate-control primitives: windowed budgets and flap damping."""
+
+from __future__ import annotations
+
+from repro.kernel.damping import FlapDamper, WindowBudget
+
+
+class TestWindowBudget:
+    def test_admits_within_limit(self):
+        budget = WindowBudget(limit=2, window=10.0, cooldown=5.0)
+        assert budget.admit(0.0)
+        assert budget.admit(1.0)
+        assert budget.refused == 0
+
+    def test_exhaustion_freezes_for_cooldown(self):
+        budget = WindowBudget(limit=2, window=10.0, cooldown=5.0)
+        assert budget.admit(0.0)
+        assert budget.admit(1.0)
+        assert not budget.admit(2.0)  # over budget: freeze starts
+        assert budget.frozen(3.0)
+        assert not budget.admit(6.9)  # still inside the cooldown
+        assert budget.refused == 2
+
+    def test_cooldown_expiry_readmits(self):
+        budget = WindowBudget(limit=1, window=2.0, cooldown=5.0)
+        assert budget.admit(0.0)
+        assert not budget.admit(1.0)  # frozen until 6.0
+        # Past the cooldown AND the original admission aged out of the
+        # window — budget is whole again.
+        assert budget.admit(6.1)
+
+    def test_window_slides(self):
+        budget = WindowBudget(limit=1, window=2.0, cooldown=5.0)
+        assert budget.admit(0.0)
+        assert budget.admit(3.0)  # first admission aged out: no freeze
+        assert budget.refused == 0
+
+    def test_zero_limit_disables(self):
+        budget = WindowBudget(limit=0, window=1.0, cooldown=1.0)
+        assert all(budget.admit(float(t)) for t in range(100))
+        assert budget.refused == 0
+
+
+class TestFlapDamper:
+    def test_stable_value_never_damps(self):
+        damper = FlapDamper(limit=1, window=10.0, cooldown=5.0)
+        assert not any(damper.observe("a", float(t)) for t in range(20))
+
+    def test_flips_over_limit_freeze(self):
+        damper = FlapDamper(limit=2, window=10.0, cooldown=5.0)
+        assert not damper.observe("a", 0.0)
+        assert not damper.observe("b", 1.0)  # flip 1
+        assert not damper.observe("a", 2.0)  # flip 2 (at the limit)
+        assert damper.observe("b", 3.0)      # flip 3: frozen
+        assert damper.frozen(4.0)
+        assert damper.observe("a", 7.9)      # inside cooldown: still damped
+        assert damper.suppressed == 2
+
+    def test_cooldown_expiry_unfreezes(self):
+        damper = FlapDamper(limit=1, window=10.0, cooldown=5.0)
+        damper.observe("a", 0.0)
+        damper.observe("b", 1.0)             # flip 1
+        assert damper.observe("a", 2.0)      # flip 2: frozen until 7.0
+        assert not damper.observe("a", 7.1)  # thawed, value stable again
+
+    def test_slow_flips_age_out(self):
+        damper = FlapDamper(limit=1, window=2.0, cooldown=5.0)
+        assert not damper.observe("a", 0.0)
+        assert not damper.observe("b", 1.0)  # flip 1
+        # Next flip 3 s later: the first aged out of the window.
+        assert not damper.observe("a", 4.0)
+
+    def test_zero_limit_disables(self):
+        damper = FlapDamper(limit=0, window=1.0, cooldown=1.0)
+        values = ["a", "b"] * 25
+        assert not any(damper.observe(v, float(t))
+                       for t, v in enumerate(values))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.kernel import QoS
 from repro.protocols import (BestEffortMulticastLayer, HeartbeatLayer,
                              MechoLayer)
+from repro.protocols.events import PathChangedEvent
 from repro.simnet import (Network, SimEngine, SimTransportLayer,
                           SimTransportSession)
 from tests.protocols.helpers import CollectorLayer
@@ -130,6 +131,56 @@ class TestMechoFallback:
         channels["b"].sessions[-1].send_text("relayed-again")
         engine.run_until(11.0)
         assert network.stats_of("b").sent_data == 1  # back to single uplink
+
+
+class TestPathChangeDamping:
+    """Path-change window resets are budgeted (suspicion starvation fix)."""
+
+    @staticmethod
+    def inject_path_changed(channel):
+        event = PathChangedEvent()
+        event.channel = channel
+        channel.session_named("heartbeat").on_event(event)
+
+    def test_single_reset_postpones_suspicion(self):
+        engine, network, channels = build_fd_world(interval=0.5)
+        engine.run_until(1.0)
+        network.crash_node("c")
+        # One genuine path change just before the 3 s timeout would fire:
+        # the observation window restarts and suspicion moves out.
+        engine.call_at(3.8, lambda: self.inject_path_changed(channels["a"]))
+        engine.run_until(4.5)
+        hb = heartbeat_of(channels["a"])
+        assert "c" not in hb.suspected
+        assert hb.path_reset_budget.refused == 0
+        engine.run_until(8.0)  # 3 s after the reset: silence wins
+        assert "c" in hb.suspected
+
+    def test_path_change_flood_cannot_starve_suspicion(self):
+        engine, network, channels = build_fd_world(interval=0.5)
+        engine.run_until(1.0)
+        network.crash_node("c")
+        # A flapping path resets faster than the 3 s timeout, forever.
+        # Unbudgeted, c would never be suspected.
+        for tick in range(30):
+            engine.call_at(1.5 + tick,
+                           lambda: self.inject_path_changed(channels["a"]))
+        engine.run_until(31.0)
+        hb = heartbeat_of(channels["a"])
+        assert "c" in hb.suspected
+        assert hb.path_reset_budget.refused > 0
+
+    def test_suspected_members_not_revived_by_reset(self):
+        engine, network, channels = build_fd_world(interval=0.5)
+        engine.run_until(1.0)
+        network.crash_node("c")
+        engine.run_until(6.0)
+        hb = heartbeat_of(channels["a"])
+        assert "c" in hb.suspected
+        self.inject_path_changed(channels["a"])
+        # The reset touches only unsuspected members; a declared suspect
+        # needs an actual heartbeat to come back.
+        assert "c" in hb.suspected
 
 
 class TestBeaconCost:

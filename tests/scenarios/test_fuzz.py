@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import dataclasses
 from types import SimpleNamespace
 
 import pytest
 
+from repro.core.rules import rule_names
 from repro.scenarios.fuzz import (MIXES, check_delivery, final_components,
                                   fuzz_oracle, generate_scenario,
                                   run_seed_for, scenario_from_dict,
@@ -44,6 +46,36 @@ class TestGenerator:
         for index in range(6):
             scenario = generate_scenario(4, index, mix="partition")
             assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+
+    def test_policy_fuzz_draws_valid_rule_sets(self):
+        config = dataclasses.replace(MIXES["uniform"], rules_p=1.0)
+        drew_governor = False
+        for index in range(12):
+            scenario = generate_scenario(9, index, config=config)
+            scenario.validate()
+            assert scenario.rules, "rules_p=1.0 must draw a rule set"
+            for name, _params in scenario.rules:
+                assert name in rule_names()
+            # The tail always produces a plan — an abstaining rule set
+            # would leave a governed coordinator without a decision path.
+            assert scenario.rules[-1][0] in ("hybrid_mecho", "plain")
+            drew_governor = drew_governor or bool(scenario.governor)
+            assert scenario_from_dict(scenario_to_dict(scenario)) == scenario
+        assert drew_governor, "half the draws should be governed"
+
+    def test_rules_p_zero_keeps_streams_untouched(self):
+        """Pre-rules corpus entries must regenerate byte-identically."""
+        explicit = dataclasses.replace(MIXES["uniform"], rules_p=0.0)
+        assert generate_scenario(5, 3, config=explicit) == \
+            generate_scenario(5, 3)
+
+    def test_policy_fuzz_oracle_green_on_small_run(self):
+        config = dataclasses.replace(
+            MIXES["uniform"], rules_p=1.0, min_nodes=3, max_nodes=3,
+            min_events=1, max_events=2, event_window_s=10.0, settle_s=40.0)
+        scenario = generate_scenario(21, 0, config=config)
+        assert scenario.rules
+        assert fuzz_oracle(scenario, run_seed_for(21, 0)) == []
 
 
 class TestFinalComponents:
