@@ -59,6 +59,7 @@ class CoreSession(GroupSession):
         self._config_id = 0
         self._active_plan: Optional[ReconfigurationPlan] = None
         self._active_members: Optional[tuple[str, ...]] = None
+        self._active_lineage: Optional[tuple] = None
         self._acks: set[str] = set()
         #: Completed group-wide reconfigurations (diagnostics/benches).
         self.reconfigurations_completed = 0
@@ -179,6 +180,15 @@ class CoreSession(GroupSession):
         self._config_id = max(self._config_id, self._last_applied_id) + 1
         self._active_plan = plan
         self._active_members = tuple(sorted(self.members))
+        # Lineage of this configuration: the control view it was issued
+        # under.  Config ids alone are only monotonic per coordinator, so
+        # divergent partitions each mint their own ``#c2``; the lineage
+        # rides every (re)send of this configuration — captured once, so
+        # retries agree — and keys the data generation's port, keeping
+        # same-id generations from different coordinator histories apart.
+        assert self.view is not None
+        self._active_lineage = (self.view.view_id,) + \
+            (self.view.stamp or ("", 0))
         self._acks = set()
         self.last_reconfig_started_at = channel.kernel.clock.now()
         for member in self.members:
@@ -193,6 +203,7 @@ class CoreSession(GroupSession):
         message = self.control_message(
             CoreMessage,
             {"kind": "reconfig", "config_id": self._config_id,
+             "lineage": self._active_lineage,
              "name": self._active_plan.name, "xml": template.to_xml(),
              "from": self.local},
             dest=member, source=self.local)
@@ -248,10 +259,12 @@ class CoreSession(GroupSession):
             return  # already in progress
         self._applying_id = config_id
         self._applying_name = payload["name"]
+        lineage = payload.get("lineage")
         template = ChannelTemplate.from_xml(payload["xml"])
         self.local_module.apply(
             config_id, template,
-            done=lambda cid: self._deployed(cid, channel))
+            done=lambda cid: self._deployed(cid, channel),
+            lineage=tuple(lineage) if lineage else None)
 
     def _deployed(self, config_id: int, channel) -> None:
         self._last_applied_id = max(self._last_applied_id, config_id)

@@ -49,8 +49,10 @@ class LocalModule:
         self.trigger_retry_interval = trigger_retry_interval
         self.data_channel: Optional[Channel] = None
         self._busy = False
-        self._active: Optional[tuple[int, ChannelTemplate, DoneCallback]] = None
-        self._pending: Optional[tuple[int, ChannelTemplate, DoneCallback]] = None
+        self._active: Optional[
+            tuple[int, ChannelTemplate, DoneCallback, Optional[tuple]]] = None
+        self._pending: Optional[
+            tuple[int, ChannelTemplate, DoneCallback, Optional[tuple]]] = None
         self._held_view: Optional[View] = None
         self._retry_handle = None
         #: Completed deployments (including the initial one).
@@ -72,13 +74,25 @@ class LocalModule:
         return channel
 
     def apply(self, config_id: int, template: ChannelTemplate,
-              done: DoneCallback) -> None:
-        """Deploy ``template`` once the data channel reaches quiescence."""
+              done: DoneCallback,
+              lineage: Optional[tuple] = None) -> None:
+        """Deploy ``template`` once the data channel reaches quiescence.
+
+        ``lineage`` identifies the control view the coordinator issued the
+        configuration under (``(view_id, announcer, incarnation)``).  Config
+        ids are only monotonic per coordinator lineage: after a partition,
+        each side mints its own ``#c2``, and a post-merge coordinator can
+        re-issue a generation name a splinter already used — the same-named
+        ports then let stale-generation retransmissions into the fresh stack,
+        whose bootstrap reliable epoch matches theirs.  Folding the lineage
+        into the generation name keeps ports distinct across coordinator
+        histories.
+        """
         if self._busy:
-            self._pending = (config_id, template, done)
+            self._pending = (config_id, template, done, lineage)
             return
         self._busy = True
-        self._active = (config_id, template, done)
+        self._active = (config_id, template, done, lineage)
         if self._held_view is not None:
             # The flush completed before our configuration arrived.
             self._schedule_swap()
@@ -130,7 +144,7 @@ class LocalModule:
     def _swap(self) -> None:
         if not self._busy or self._active is None or self._held_view is None:
             return
-        config_id, template, done = self._active
+        config_id, template, done, lineage = self._active
         view = self._held_view
         self._held_view = None
         old = self.data_channel
@@ -151,6 +165,13 @@ class LocalModule:
         # consistent knowledge; view synchrony still guarantees no data
         # message straddles the boundary within each surviving subgroup.
         generation_name = f"{self.channel_name}#c{config_id}"
+        if lineage:
+            # Same value at every member (it rides the reconfig message), so
+            # the group still boots as ONE generation; the suffix only
+            # separates generations minted by different coordinator
+            # histories.  Ports are names, not wire bytes — packet overhead
+            # is a fixed charge — so byte accounting is unchanged.
+            generation_name += "@" + ".".join(str(part) for part in lineage)
         channel = template.instantiate(self.node.kernel,
                                        channel_name=generation_name,
                                        session_bindings=self.bindings)

@@ -1,0 +1,379 @@
+"""Compact binary wire codec for payloads crossing the simulated network.
+
+At the wire boundary (:meth:`~repro.kernel.message.Message.wire_copy`, used
+by the transport on every send) a payload is frozen into a compact byte
+string instead of the object-graph snapshot the pre-codec path rebuilt per
+transmission.  The encoding is the seam the ROADMAP's real-transport
+backend needs (a socket needs real framing) and what a sharded engine
+would ship across shards.
+
+Wire format — one tagged value, recursively::
+
+    value   := small_int | tagged
+    small_int := byte with the top bit set; encodes ints 0..127 inline
+    tagged  := tag:byte payload
+
+    0x00 None          0x01 True           0x02 False
+    0x03 int           zigzag varint
+    0x04 float         8-byte IEEE-754 big-endian
+    0x05 str           varint byte-length + UTF-8
+    0x06 interned str  varint key-table id (see below)
+    0x07 bytes         varint length + raw
+    0x08 bytearray     varint length + raw
+    0x09 list          varint count + values
+    0x0A tuple         varint count + values
+    0x0B set           varint count + values
+    0x0C frozenset     varint count + values
+    0x0D dict          varint count + (key value) pairs
+    0x0E message       varint header count + headers bottom→top + payload
+    0x0F wire blob     varint length + raw + varint charge
+                       (an already-encoded nested payload re-embedded
+                       verbatim — retransmission stores forward received
+                       frozen bytes without a decode/re-encode round trip)
+
+Varints are LEB128 (7 bits per byte, little-endian groups, high bit =
+continuation); signed integers are zigzag-mapped first.
+
+**Key interning.**  Header and payload dictionaries across the protocol
+suite reuse a small vocabulary of string keys ("kind", "epoch", "seqno",
+…).  A registry-backed key table maps each to a small integer so repeated
+header dicts serialize the key as one or two bytes (tag 0x06 + varint id).
+The table is part of the wire contract: ids are assigned in registration
+order, the built-in vocabulary is registered at import time, and any
+extension (:func:`register_wire_key`) must happen identically on every
+node before traffic flows — in-process simulation gets this for free; a
+real transport would ship the table in a hello frame.
+
+**Byte accounting.**  The simulation's byte charges
+(:func:`~repro.kernel.message.estimate_size`) feed link delay, loss draws
+and battery drain, so they are the accounting source of truth and must not
+drift with encoding details.  :func:`encode_payload` therefore computes the
+legacy charge *in the same traversal* that emits the bytes and returns
+``(blob, charge)`` — by construction ``charge == estimate_size(payload)``,
+asserted (together with round-trip fidelity) when :data:`PARITY` is on.
+The *encoded* length is tracked separately (``wire_bytes`` counters in
+:mod:`repro.simnet.stats`), which is how the codec's compression is
+measured without perturbing a single timing.
+
+Payload types outside the table above (custom classes, dataclasses inside
+payloads) raise :class:`CodecError`; the caller falls back to the legacy
+object-graph snapshot, so exotic payloads keep working at the old cost.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Any, Callable
+
+__all__ = [
+    "CodecError", "PARITY", "decode_payload", "encode_payload",
+    "register_wire_key", "set_parity", "wire_key_table",
+]
+
+
+class CodecError(Exception):
+    """Payload not representable in the compact wire format."""
+
+
+#: Parity mode: every encode asserts the computed charge matches the legacy
+#: estimate and that the blob decodes back to an equal value.  Enabled in
+#: the tier-1 parity test and by ``REPRO_CODEC_PARITY=1``.
+PARITY = bool(os.environ.get("REPRO_CODEC_PARITY"))
+
+
+def set_parity(enabled: bool) -> None:
+    """Toggle parity checking (see :data:`PARITY`)."""
+    global PARITY
+    PARITY = bool(enabled)
+
+
+# -- key interning ------------------------------------------------------------
+
+#: Registration-ordered key table.  Order is the wire contract: id N is the
+#: N-th registered key, on every node.
+_KEY_LIST: list[str] = []
+_KEY_IDS: dict[str, int] = {}
+
+
+def register_wire_key(key: str) -> int:
+    """Register ``key`` in the interning table; returns its id.
+
+    Idempotent.  Must be called in identical order everywhere before any
+    traffic is exchanged (module-import registration satisfies this).
+    """
+    existing = _KEY_IDS.get(key)
+    if existing is not None:
+        return existing
+    key_id = len(_KEY_LIST)
+    _KEY_LIST.append(key)
+    _KEY_IDS[key] = key_id
+    return key_id
+
+
+def wire_key_table() -> tuple[str, ...]:
+    """The current key table, id order (diagnostics and tests)."""
+    return tuple(_KEY_LIST)
+
+
+#: Built-in vocabulary: dict keys and short enum-like values the protocol
+#: suite sends on nearly every packet.  Extend only by appending (the wire
+#: contract pins existing ids).
+for _key in (
+    "kind", "from", "epoch", "seqno", "sender", "seq", "msg", "view",
+    "members", "config_id", "lineage", "name", "xml", "text", "tag",
+    "cut", "coordinator", "view_id", "announcer", "incarnation",
+    "group", "src", "dst", "origin", "target", "base", "joiners",
+    "leavers", "stamp", "ballot", "round", "ts", "data", "payload",
+    "hops", "ttl", "id", "chat", "hb", "nack", "sync", "advert",
+    "reconfig", "reconfig_done",
+):
+    register_wire_key(_key)
+del _key
+
+
+# -- varints ------------------------------------------------------------------
+
+def _append_varint(out: bytearray, value: int) -> None:
+    """LEB128-append non-negative ``value`` to ``out``."""
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_varint(buf: bytes, pos: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        try:
+            byte = buf[pos]
+        except IndexError:
+            raise CodecError("truncated varint") from None
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+# -- encoding -----------------------------------------------------------------
+
+_pack_double = struct.Struct(">d").pack
+_unpack_double = struct.Struct(">d").unpack_from
+
+_SEQ_TAGS = {list: 0x09, tuple: 0x0A, set: 0x0B, frozenset: 0x0C}
+
+
+def _encode_str(out: bytearray, value: str) -> int:
+    key_id = _KEY_IDS.get(value)
+    encoded = value.encode("utf-8")
+    if key_id is not None:
+        out.append(0x06)
+        _append_varint(out, key_id)
+    else:
+        out.append(0x05)
+        _append_varint(out, len(encoded))
+        out += encoded
+    return len(encoded)  # legacy charge: UTF-8 length, interned or not
+
+
+def _encode(out: bytearray, obj: Any) -> int:
+    """Append ``obj``'s wire form to ``out``; return its legacy charge."""
+    kind = type(obj)
+    if kind is str:
+        return _encode_str(out, obj)
+    if kind is bool:
+        out.append(0x01 if obj else 0x02)
+        return 1
+    if kind is int:
+        if 0 <= obj <= 0x7F:
+            out.append(0x80 | obj)
+        else:
+            out.append(0x03)
+            _append_varint(out, _zigzag(obj))
+        return 4
+    if obj is None:
+        out.append(0x00)
+        return 1
+    if kind is float:
+        out.append(0x04)
+        out += _pack_double(obj)
+        return 8
+    if kind is bytes or kind is bytearray:
+        out.append(0x07 if kind is bytes else 0x08)
+        _append_varint(out, len(obj))
+        out += obj
+        return len(obj)
+    if kind is dict:
+        out.append(0x0D)
+        _append_varint(out, len(obj))
+        charge = 2
+        for key, value in obj.items():
+            charge += _encode(out, key)
+            charge += _encode(out, value)
+        return charge
+    seq_tag = _SEQ_TAGS.get(kind)
+    if seq_tag is not None:
+        out.append(seq_tag)
+        _append_varint(out, len(obj))
+        charge = 2
+        for item in obj:
+            charge += _encode(out, item)
+        return charge
+    # Structured leaves the hot loop never sees: nested messages (carried
+    # by retransmission stores and relays) and re-embedded frozen blobs.
+    from repro.kernel.message import Message, WirePayload
+    if kind is WirePayload:
+        out.append(0x0F)
+        blob = obj.blob
+        _append_varint(out, len(blob))
+        out += blob
+        _append_varint(out, obj.size_bytes)
+        return obj.size_bytes
+    if kind is Message:
+        out.append(0x0E)
+        headers = obj.headers
+        _append_varint(out, len(headers))
+        charge = 0
+        for header in headers:
+            charge += max(_encode(out, header), 1) + 1  # +1 framing byte
+        payload = obj._payload
+        if type(payload) is not WirePayload:
+            # Route through the copy-family cache so every relay and
+            # retransmission embedding this message shares one payload
+            # encode — the nested-snapshot sharing the object path had.
+            payload = obj.wire_copy()._payload
+        charge += _encode(out, payload)
+        return charge
+    raise CodecError(f"cannot wire-encode {kind.__name__}")
+
+
+def encode_payload(obj: Any) -> tuple[bytes, int]:
+    """Encode ``obj`` for the wire.
+
+    Returns ``(blob, charge)`` where ``charge`` is the legacy
+    :func:`~repro.kernel.message.estimate_size` of ``obj``, computed during
+    the same traversal — the accounting source of truth stays byte-for-byte
+    what it was before the codec existed.
+
+    Raises:
+        CodecError: for types outside the wire format (callers fall back
+            to the legacy object snapshot).
+    """
+    out = bytearray()
+    charge = _encode(out, obj)
+    blob = bytes(out)
+    if PARITY:
+        _assert_parity(obj, blob, charge)
+    return blob, charge
+
+
+# -- decoding -----------------------------------------------------------------
+
+def _decode(buf: bytes, pos: int) -> tuple[Any, int]:
+    try:
+        tag = buf[pos]
+    except IndexError:
+        raise CodecError("truncated value") from None
+    pos += 1
+    if tag & 0x80:
+        return tag & 0x7F, pos
+    if tag == 0x00:
+        return None, pos
+    if tag == 0x01:
+        return True, pos
+    if tag == 0x02:
+        return False, pos
+    if tag == 0x03:
+        raw, pos = _read_varint(buf, pos)
+        return _unzigzag(raw), pos
+    if tag == 0x04:
+        if pos + 8 > len(buf):
+            raise CodecError("truncated float")
+        return _unpack_double(buf, pos)[0], pos + 8
+    if tag == 0x05:
+        length, pos = _read_varint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise CodecError("truncated string")
+        return buf[pos:end].decode("utf-8"), end
+    if tag == 0x06:
+        key_id, pos = _read_varint(buf, pos)
+        try:
+            return _KEY_LIST[key_id], pos
+        except IndexError:
+            raise CodecError(f"unknown interned key id {key_id}") from None
+    if tag == 0x07 or tag == 0x08:
+        length, pos = _read_varint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise CodecError("truncated bytes")
+        raw = buf[pos:end]
+        return (raw if tag == 0x07 else bytearray(raw)), end
+    if 0x09 <= tag <= 0x0C:
+        count, pos = _read_varint(buf, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode(buf, pos)
+            items.append(item)
+        build: Callable = (list, tuple, set, frozenset)[tag - 0x09]
+        return (items if tag == 0x09 else build(items)), pos
+    if tag == 0x0D:
+        count, pos = _read_varint(buf, pos)
+        result = {}
+        for _ in range(count):
+            key, pos = _decode(buf, pos)
+            value, pos = _decode(buf, pos)
+            result[key] = value
+        return result, pos
+    if tag == 0x0E:
+        from repro.kernel.message import Message
+        count, pos = _read_varint(buf, pos)
+        headers = []
+        for _ in range(count):
+            header, pos = _decode(buf, pos)
+            headers.append(header)
+        payload, pos = _decode(buf, pos)
+        return Message(payload, headers=headers), pos
+    if tag == 0x0F:
+        from repro.kernel.message import WirePayload
+        length, pos = _read_varint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise CodecError("truncated embedded blob")
+        blob = buf[pos:end]
+        charge, pos = _read_varint(buf, end)
+        return WirePayload(blob, charge), pos
+    raise CodecError(f"unknown wire tag 0x{tag:02X}")
+
+
+def decode_payload(blob: bytes) -> Any:
+    """Decode one wire value; the whole blob must be consumed."""
+    value, pos = _decode(blob, 0)
+    if pos != len(blob):
+        raise CodecError(f"trailing bytes after value ({len(blob) - pos})")
+    return value
+
+
+# -- parity -------------------------------------------------------------------
+
+def _assert_parity(obj: Any, blob: bytes, charge: int) -> None:
+    from repro.kernel.message import estimate_size
+    legacy = estimate_size(obj)
+    if charge != legacy:
+        raise AssertionError(
+            f"codec charge {charge} != legacy estimate {legacy} "
+            f"for {obj!r}")
+    decoded = decode_payload(blob)
+    if decoded != obj:
+        raise AssertionError(
+            f"codec round-trip mismatch: {obj!r} -> {decoded!r}")

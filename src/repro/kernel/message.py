@@ -59,6 +59,33 @@ DEFAULT_HEADER_SIZE = 8
 DEFAULT_PAYLOAD_SIZE = 32
 
 
+def _estimate_str(obj: str) -> int:
+    return len(obj.encode("utf-8"))
+
+
+def _estimate_seq(obj: Any) -> int:
+    return sum(estimate_size(item) for item in obj) + 2
+
+
+def _estimate_dict(obj: dict) -> int:
+    return sum(estimate_size(k) + estimate_size(v)
+               for k, v in obj.items()) + 2
+
+
+#: Exact-type fast dispatch for :func:`estimate_size`.  Builtins cannot
+#: carry a ``size_bytes`` override, so skipping the ``getattr`` probe (and
+#: the isinstance ladder) for them is charge-identical — and they are the
+#: overwhelming majority of what the hot send path estimates.
+_ESTIMATE_FAST: dict[type, Any] = {
+    bytes: len, bytearray: len, str: _estimate_str,
+    bool: lambda obj: 1, int: lambda obj: 4, float: lambda obj: 8,
+    type(None): lambda obj: 1,
+    list: _estimate_seq, tuple: _estimate_seq,
+    set: _estimate_seq, frozenset: _estimate_seq,
+    dict: _estimate_dict,
+}
+
+
 def estimate_size(obj: Any) -> int:
     """Estimate the wire size, in bytes, of ``obj``.
 
@@ -66,6 +93,9 @@ def estimate_size(obj: Any) -> int:
     (either a class constant or a property).  Dataclass headers without an
     explicit size are charged per field.
     """
+    fast = _ESTIMATE_FAST.get(type(obj))
+    if fast is not None:
+        return fast(obj)
     explicit = getattr(obj, "size_bytes", None)
     if isinstance(explicit, int):
         return explicit
@@ -93,6 +123,68 @@ def estimate_size(obj: Any) -> int:
 #: Payload types that need no snapshot at the wire boundary.
 _IMMUTABLE_PAYLOAD_TYPES = (bytes, str, int, float, bool, frozenset,
                             type(None), type)
+
+#: Lazily-bound :mod:`repro.kernel.codec` (breaks the import cycle: the
+#: codec module imports Message/WirePayload from here at call time).
+_codec = None
+
+
+def _get_codec():
+    global _codec
+    if _codec is None:
+        from repro.kernel import codec
+        _codec = codec
+    return _codec
+
+
+class WirePayload:
+    """A payload frozen into compact wire bytes (see :mod:`.codec`).
+
+    Replaces the object-graph snapshot on the wire path: the sender encodes
+    once per transmission (shared by every receiver of a fan-out via the
+    message's copy-family cache), and receivers decode lazily, once per
+    family — :attr:`Message.payload` unwraps transparently, so layers never
+    see the wrapper.
+
+    ``size_bytes`` is the *legacy* accounting charge of the encoded object
+    (computed during encoding), NOT the blob length: byte charges drive
+    link delays, loss draws and battery drain, and must stay bit-identical
+    to the pre-codec estimates.  The true encoded length (``len(blob)``)
+    feeds the separate ``wire_bytes`` counters.
+    """
+
+    __slots__ = ("blob", "size_bytes", "_decoded")
+
+    _UNSET = object()
+
+    def __init__(self, blob: bytes, size_bytes: int) -> None:
+        self.blob = blob
+        self.size_bytes = size_bytes
+        self._decoded: Any = WirePayload._UNSET
+
+    def decoded(self) -> Any:
+        """The payload object, decoded on first access and then shared.
+
+        Sharing one decode across the copy family mirrors the pre-codec
+        behaviour (all receivers of a transmission observed one snapshot
+        object); the decoded value is immutable by the ownership contract.
+        """
+        value = self._decoded
+        if value is WirePayload._UNSET:
+            value = self._decoded = _get_codec().decode_payload(self.blob)
+        return value
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, WirePayload):
+            return self.blob == other.blob
+        return self.decoded() == other
+
+    def __hash__(self) -> int:
+        return hash(self.blob)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WirePayload({len(self.blob)}B wire, "
+                f"charge={self.size_bytes})")
 
 
 def snapshot_payload(obj: Any) -> Any:
@@ -173,7 +265,10 @@ class Message:
 
     @property
     def payload(self) -> Any:
-        return self._payload
+        payload = self._payload
+        if type(payload) is WirePayload:
+            return payload.decoded()
+        return payload
 
     @payload.setter
     def payload(self, value: Any) -> None:
@@ -247,6 +342,37 @@ class Message:
         return self._payload_size + \
             (0 if self._top is None else self._top.stack_bytes)
 
+    @property
+    def wire_bytes(self) -> int:
+        """Actual compact-codec length of the whole message — interned
+        header keys, varint framing, and the frozen payload blob
+        re-embedded verbatim.
+
+        ``size_bytes`` stays the accounting source of truth (delay, loss
+        and battery models); this is the measurement of what the compact
+        encoding saves.  Only meaningful on a wire copy (frozen payload):
+        unfrozen handles and exotic legacy-snapshot payloads fall back to
+        ``size_bytes``.  Not cached — :class:`~repro.simnet.packet.Packet`
+        computes it once per transmission and fans it out.
+        """
+        payload = self._payload
+        if type(payload) is not WirePayload:
+            return self.size_bytes
+        if self._top is None:
+            # Bare message (the common case at the packet boundary: layers
+            # fold their state into the payload dict): pure arithmetic —
+            # message tag + zero header count + blob re-embed framing.
+            blob_len = len(payload.blob)
+            return (3 + blob_len +
+                    ((blob_len.bit_length() or 1) + 6) // 7 +
+                    ((payload.size_bytes.bit_length() or 1) + 6) // 7)
+        codec = _get_codec()
+        try:
+            blob, _ = codec.encode_payload(self)
+        except codec.CodecError:  # exotic header value
+            return self.size_bytes
+        return len(blob)
+
     # -- copying --------------------------------------------------------------
 
     def copy(self) -> "Message":
@@ -292,7 +418,26 @@ class Message:
             cache = self._wire_cache = [None]
         snap = cache[0]
         if snap is None:
-            snap = snapshot_payload(self._payload)
+            payload = self._payload
+            if type(payload) is WirePayload:
+                # Relay path: a received payload is already frozen bytes —
+                # its own wire form, zero re-encode.
+                snap = payload
+            else:
+                codec = _get_codec()
+                try:
+                    blob, charge = codec.encode_payload(payload)
+                    snap = WirePayload(blob, charge)
+                    if isinstance(payload, _IMMUTABLE_PAYLOAD_TYPES):
+                        # Already its own snapshot: seed the decode cache
+                        # so receivers observe the sender's object directly
+                        # (identity pass-through, zero decode cost), as the
+                        # pre-codec path did.
+                        snap._decoded = payload
+                except codec.CodecError:
+                    # Exotic payload (custom class, dataclass): legacy
+                    # object-graph snapshot at the old cost.
+                    snap = snapshot_payload(payload)
             cache[0] = snap
         dup = self.copy()  # shares the cache cell holding ``snap``
         dup._payload = snap

@@ -155,12 +155,17 @@ class ScenarioRunner:
 
     def __init__(self, scenario: Scenario, seed: int = 0,
                  engine_factory=SimEngine,
-                 invariants: Sequence[InvariantCheck] = ()) -> None:
+                 invariants: Sequence[InvariantCheck] = (),
+                 batched: bool = True) -> None:
         scenario.validate()
         self.scenario = scenario
         self.seed = seed
         self.engine_factory = engine_factory
         self.invariants = tuple(invariants)
+        #: Same-slot delivery batching; ``False`` is the one-engine-event-
+        #: per-delivery escape hatch the batching parity tests compare
+        #: against (histories must be byte-identical either way).
+        self.batched = batched
         self.engine: Optional[SimEngine] = None
         self.network: Optional[Network] = None
         self.morpheus: dict[str, MorpheusNode] = {}
@@ -310,7 +315,8 @@ class ScenarioRunner:
         self.network = Network(
             self.engine, seed=self.seed,
             wired=self._link(scenario.wired, "wired"),
-            wireless=self._link(scenario.wireless, "wireless"))
+            wireless=self._link(scenario.wireless, "wireless"),
+            batched=self.batched)
         for spec in scenario.nodes:
             if spec.join_at is None:
                 self._add_sim_node(spec)
@@ -384,7 +390,8 @@ class ScenarioRunner:
 
 def run_scenario(scenario: Scenario, seed: int = 0,
                  engine_factory=SimEngine,
-                 invariants: Sequence[InvariantCheck] = ()) -> ScenarioResult:
+                 invariants: Sequence[InvariantCheck] = (),
+                 batched: bool = True) -> ScenarioResult:
     """One-call convenience: build a runner and execute the scenario."""
     return ScenarioRunner(scenario, seed=seed, engine_factory=engine_factory,
-                          invariants=invariants).run()
+                          invariants=invariants, batched=batched).run()

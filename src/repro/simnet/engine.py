@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Callable, Optional
 
 #: Width of one wheel slot, in virtual seconds.  A power-of-two reciprocal
@@ -128,6 +129,10 @@ class SimEngine:
         #: on push/fire/cancel so :attr:`pending` is O(1) — scenario
         #: runners poll it for progress checks.
         self._live = 0
+        #: Deadline of the active :meth:`run_until`, ``inf`` outside one.
+        #: External batchers (the network's same-slot delivery drain) must
+        #: not advance work past it — see :attr:`run_deadline`.
+        self._deadline = math.inf
 
     # -- Clock protocol -----------------------------------------------------
 
@@ -145,9 +150,30 @@ class SimEngine:
     def call_at(self, when: float,
                 callback: Callable[[], None]) -> ScheduledCall:
         """Schedule ``callback`` at absolute virtual time ``when``."""
+        return self.schedule_at_seq(when, next(self._seq), callback)
+
+    def reserve_seq(self) -> int:
+        """Consume and return the next scheduling sequence number.
+
+        The delivery batcher reserves a seq per queued packet at routing
+        time — exactly where the unbatched path's ``call_later`` would have
+        consumed it — so the seq stream every *other* callback observes is
+        bit-identical with batching on or off, and the reserved ``(when,
+        seq)`` pair totally orders the queued packet against engine entries.
+        """
+        return next(self._seq)
+
+    def schedule_at_seq(self, when: float, seq: int,
+                        callback: Callable[[], None]) -> ScheduledCall:
+        """Schedule ``callback`` at ``when`` under a reserved ``seq``.
+
+        Unlike :meth:`call_at` this consumes no new sequence number: the
+        entry fires exactly where a callback scheduled when ``seq`` was
+        reserved would have fired.  Used to place the batcher's flush at
+        its queue head's ``(when, seq)`` without perturbing the seq stream.
+        """
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
-        seq = next(self._seq)
         entry = ScheduledCall(when, seq, callback, engine=self)
         slot = int(when * _INV_SLOT_WIDTH)
         if slot <= self._cursor:
@@ -163,6 +189,40 @@ class SimEngine:
             self.overflow_scheduled += 1
         self._live += 1
         return entry
+
+    def peek_due(self) -> Optional[tuple[float, int]]:
+        """``(when, seq)`` of the earliest *visible* live entry, else None.
+
+        "Visible" means cheaply reachable without disturbing the wheel: the
+        current slot's batch.  ``None`` guarantees every remaining entry
+        lies at or beyond the current slot's end — the contract the
+        delivery batcher needs (it never drains past its own slot), NOT a
+        claim that the engine is idle.  O(1) amortized.
+        """
+        batch = self._batch
+        while batch:
+            when, seq, entry = batch[0]
+            if entry.cancelled:
+                heapq.heappop(batch)
+                continue
+            return (when, seq)
+        return None
+
+    def advance_clock(self, when: float) -> None:
+        """Advance virtual time to ``when`` (never backwards).
+
+        For external batchers running work the engine itself did not fire:
+        the drained callback must observe the instant it was scheduled for.
+        Callers are responsible for only advancing to instants no earlier
+        than every remaining scheduled entry they could overtake.
+        """
+        if when > self._now:
+            self._now = when
+
+    @property
+    def run_deadline(self) -> float:
+        """Deadline of the active :meth:`run_until` (``inf`` outside one)."""
+        return self._deadline
 
     # -- wheel internals ------------------------------------------------------
 
@@ -264,13 +324,17 @@ class SimEngine:
     def run_until(self, deadline: float) -> int:
         """Run every callback due up to ``deadline``; time ends at deadline."""
         fired = 0
-        while True:
-            entry = self._advance()
-            if entry is None or entry.when > deadline:
-                break
-            heapq.heappop(self._batch)
-            self._fire(entry)
-            fired += 1
+        self._deadline = deadline
+        try:
+            while True:
+                entry = self._advance()
+                if entry is None or entry.when > deadline:
+                    break
+                heapq.heappop(self._batch)
+                self._fire(entry)
+                fired += 1
+        finally:
+            self._deadline = math.inf
         self._now = max(self._now, deadline)
         return fired
 
@@ -314,12 +378,35 @@ class HeapSimEngine(SimEngine):
     def call_at(self, when: float,
                 callback: Callable[[], None]) -> ScheduledCall:
         """Schedule ``callback`` at absolute virtual time ``when``."""
+        return self.schedule_at_seq(when, next(self._seq), callback)
+
+    def schedule_at_seq(self, when: float, seq: int,
+                        callback: Callable[[], None]) -> ScheduledCall:
+        """Schedule under a reserved ``seq`` (see :class:`SimEngine`)."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
-        entry = ScheduledCall(when, next(self._seq), callback, engine=self)
+        entry = ScheduledCall(when, seq, callback, engine=self)
         heapq.heappush(self._heap, entry)
         self._live += 1
         return entry
+
+    def peek_due(self) -> Optional[tuple[float, int]]:
+        """``(when, seq)`` of the globally earliest live entry, else None.
+
+        The heap sees everything, so this is strictly more informative than
+        the wheel's batch-only peek — but the delivery batcher bounds its
+        drain by its own slot's end, and everything the wheel's peek hides
+        lies at or beyond that bound, so both engines reach identical
+        batching decisions (asserted by the differential tests).
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head.cancelled:
+                heapq.heappop(heap)
+                continue
+            return (head.when, head.seq)
+        return None
 
     def _advance(self) -> Optional[ScheduledCall]:
         heap = self._heap
@@ -341,13 +428,17 @@ class HeapSimEngine(SimEngine):
 
     def run_until(self, deadline: float) -> int:
         fired = 0
-        while True:
-            entry = self._advance()
-            if entry is None or entry.when > deadline:
-                break
-            heapq.heappop(self._heap)
-            self._fire(entry)
-            fired += 1
+        self._deadline = deadline
+        try:
+            while True:
+                entry = self._advance()
+                if entry is None or entry.when > deadline:
+                    break
+                heapq.heappop(self._heap)
+                self._fire(entry)
+                fired += 1
+        finally:
+            self._deadline = math.inf
         self._now = max(self._now, deadline)
         return fired
 

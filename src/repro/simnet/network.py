@@ -31,12 +31,16 @@ event-driven (rather than purely periodic) adaptation.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from repro.simnet.energy import Battery
-from repro.simnet.engine import SimEngine
+from repro.simnet.engine import SLOT_WIDTH_S, ScheduledCall, SimEngine
+
+#: Reciprocal of the engine slot width (multiply beats divide on hot paths).
+_INV_SLOT_WIDTH = 1.0 / SLOT_WIDTH_S
 from repro.simnet.loss import LossModel, NoLoss
 from repro.simnet.node import NodeKind, SimNode
 from repro.simnet.packet import Packet
@@ -113,7 +117,8 @@ class Network:
                  wired: Optional[LinkParams] = None,
                  wireless: Optional[LinkParams] = None,
                  native_multicast_wired: bool = False,
-                 wireless_broadcast: bool = False) -> None:
+                 wireless_broadcast: bool = False,
+                 batched: bool = True) -> None:
         self.engine = engine
         self.rng = random.Random(seed)
         self.wired = wired if wired is not None else default_wired()
@@ -131,6 +136,19 @@ class Network:
         #: Bumped on every runtime topology mutation.
         self.topology_epoch = 0
         self._topology_listeners: list[TopologyListener] = []
+        #: Same-slot delivery batching (see :meth:`_flush_deliveries`).
+        #: ``batched=False`` is the differential escape hatch: one engine
+        #: event per delivery, the pre-batching behaviour, histories
+        #: asserted byte-identical by the parity tests.
+        self.batched = batched
+        #: In-flight packets awaiting delivery, ordered by ``(when, seq)``
+        #: — the exact instant/rank an unbatched ``call_later`` would have
+        #: fired them at (the seq is reserved from the engine's counter).
+        self._pending_deliveries: list[
+            tuple[float, int, SimNode, Packet]] = []
+        self._flush_call: Optional[ScheduledCall] = None
+        self._flush_key: Optional[tuple[float, int]] = None
+        self._in_flush = False
 
     # -- topology -----------------------------------------------------------
 
@@ -339,7 +357,71 @@ class Network:
                 return
             delay += link.delay_for(packet.size_bytes)
         packet.hops = len(hops)
-        self.engine.call_later(delay, lambda: self._deliver(dst, packet))
+        engine = self.engine
+        if not self.batched:
+            engine.call_later(delay, lambda: self._deliver(dst, packet))
+            return
+        # Batched path: queue the packet under the exact (when, seq) the
+        # unbatched call_later would have used — reserving the seq keeps
+        # every other callback's sequence number (and therefore the whole
+        # run's history) bit-identical — and keep one flush entry parked
+        # at the queue head's instant.
+        when = engine.now() + delay
+        seq = engine.reserve_seq()
+        heapq.heappush(self._pending_deliveries, (when, seq, dst, packet))
+        if not self._in_flush and \
+                (self._flush_key is None or (when, seq) < self._flush_key):
+            self._schedule_flush(when, seq)
+
+    def _schedule_flush(self, when: float, seq: int) -> None:
+        if self._flush_call is not None:
+            self._flush_call.cancel()
+        self._flush_key = (when, seq)
+        self._flush_call = self.engine.schedule_at_seq(
+            when, seq, self._flush_deliveries)
+
+    def _flush_deliveries(self) -> None:
+        """Deliver every queued packet due in this wheel slot, in order.
+
+        One engine event drains the whole slot: the flush entry sits at the
+        queue head's reserved ``(when, seq)``, so the engine fires it exactly
+        where the unbatched per-packet callback would have fired.  The drain
+        then keeps delivering queued packets as long as (a) the next one is
+        due before this flush's slot ends — beyond that, wheel entries the
+        peek cannot see could be owed first — (b) no visible engine entry
+        outranks it, and (c) it does not cross the active ``run_until``
+        deadline.  Each delivery advances the virtual clock to its exact
+        instant, so observers cannot tell batching from the per-event path
+        (the differential tests assert byte-identical histories).
+        """
+        self._flush_call = None
+        flush_when = self._flush_key[0]
+        self._flush_key = None
+        engine = self.engine
+        pending = self._pending_deliveries
+        deadline = engine.run_deadline
+        slot_end = (int(flush_when * _INV_SLOT_WIDTH) + 1) * SLOT_WIDTH_S
+        peek_due = engine.peek_due
+        advance_clock = engine.advance_clock
+        deliver = self._deliver
+        pop = heapq.heappop
+        self._in_flush = True
+        try:
+            while pending:
+                when, seq, dst, packet = pending[0]
+                if when >= slot_end or when > deadline:
+                    break
+                nxt = peek_due()
+                if nxt is not None and nxt < (when, seq):
+                    break
+                pop(pending)
+                advance_clock(when)
+                deliver(dst, packet)
+        finally:
+            self._in_flush = False
+        if pending:
+            head = pending[0]
+            self._schedule_flush(head[0], head[1])
 
     def _hops_between(self, src: SimNode, dst: SimNode) -> list[LinkParams]:
         if src.is_fixed and dst.is_fixed:

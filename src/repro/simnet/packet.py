@@ -68,6 +68,10 @@ class Packet:
         traffic_class: ``"data"`` or ``"control"``.
         size_bytes: wire size including per-packet and source-field
             overhead.
+        wire_bytes: actual compact-codec size of the same framing (the
+            payload's encoded blob length instead of its legacy charge);
+            measurement only — the simulation models run on
+            ``size_bytes``.
         sent_at: virtual time of transmission (set by the network).
         hops: link hops traversed (set by the network; diagnostics).
     """
@@ -80,6 +84,7 @@ class Packet:
     logical_src: Optional[str] = None
     traffic_class: str = DATA
     size_bytes: int = 0
+    wire_bytes: int = 0
     sent_at: float = 0.0
     hops: int = 0
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
@@ -87,10 +92,12 @@ class Packet:
     def __post_init__(self) -> None:
         if self.logical_src is None:
             self.logical_src = self.src
+        overhead = (estimate_size(self.logical_src) +
+                    SRC_FIELD_OVERHEAD + PACKET_OVERHEAD_BYTES)
         if not self.size_bytes:
-            self.size_bytes = (self.message.size_bytes +
-                               estimate_size(self.logical_src) +
-                               SRC_FIELD_OVERHEAD + PACKET_OVERHEAD_BYTES)
+            self.size_bytes = self.message.size_bytes + overhead
+        if not self.wire_bytes:
+            self.wire_bytes = self.message.wire_bytes + overhead
 
     @property
     def is_multicast(self) -> bool:
@@ -102,14 +109,28 @@ class Packet:
 
         The message handle is an O(1) copy-on-write duplicate: the receiver
         may push/pop freely without affecting any sibling receiver's view,
-        while the header chain and payload remain physically shared.
+        while the header chain and payload remain physically shared.  Both
+        byte sizes are passed through, so a 1→N fan-out encodes (and
+        measures) the message exactly once.
+
+        Built without re-running ``__init__``/``__post_init__``: every
+        derived field is already known, and this is the per-receiver inner
+        loop of every multicast.
         """
-        return Packet(src=self.src, dst=dst, port=self.port,
-                      event_cls=self.event_cls, message=self.message.copy(),
-                      logical_src=self.logical_src,
-                      traffic_class=self.traffic_class,
-                      size_bytes=self.size_bytes, sent_at=self.sent_at,
-                      hops=self.hops)
+        clone = object.__new__(Packet)
+        clone.src = self.src
+        clone.dst = dst
+        clone.port = self.port
+        clone.event_cls = self.event_cls
+        clone.message = self.message.copy()
+        clone.logical_src = self.logical_src
+        clone.traffic_class = self.traffic_class
+        clone.size_bytes = self.size_bytes
+        clone.wire_bytes = self.wire_bytes
+        clone.sent_at = self.sent_at
+        clone.hops = self.hops
+        clone.packet_id = next(_packet_ids)
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Packet #{self.packet_id} {self.src}->{self.dst} "

@@ -35,8 +35,10 @@ class NodeStats:
     node_id: str
     sent_packets: Counter = field(default_factory=Counter)
     sent_bytes: Counter = field(default_factory=Counter)
+    sent_wire_bytes: Counter = field(default_factory=Counter)
     recv_packets: Counter = field(default_factory=Counter)
     recv_bytes: Counter = field(default_factory=Counter)
+    recv_wire_bytes: Counter = field(default_factory=Counter)
     sent_by_event: Counter = field(default_factory=Counter)
     recv_by_event: Counter = field(default_factory=Counter)
     dropped_packets: int = 0
@@ -46,11 +48,13 @@ class NodeStats:
     def record_sent(self, packet: Packet) -> None:
         self.sent_packets[packet.traffic_class] += 1
         self.sent_bytes[packet.traffic_class] += packet.size_bytes
+        self.sent_wire_bytes[packet.traffic_class] += packet.wire_bytes
         self.sent_by_event[packet.event_cls.__name__] += 1
 
     def record_received(self, packet: Packet) -> None:
         self.recv_packets[packet.traffic_class] += 1
         self.recv_bytes[packet.traffic_class] += packet.size_bytes
+        self.recv_wire_bytes[packet.traffic_class] += packet.wire_bytes
         self.recv_by_event[packet.event_cls.__name__] += 1
 
     def record_dropped(self) -> None:
@@ -79,6 +83,11 @@ class NodeStats:
     def sent_bytes_total(self) -> int:
         return sum(self.sent_bytes.values())
 
+    @property
+    def sent_wire_bytes_total(self) -> int:
+        """Compact-codec bytes actually sent (vs the legacy charge)."""
+        return sum(self.sent_wire_bytes.values())
+
     def snapshot(self) -> dict:
         """A plain-dict summary, convenient for experiment reports."""
         return {
@@ -87,6 +96,7 @@ class NodeStats:
             "sent_data": self.sent_data,
             "sent_control": self.sent_control,
             "sent_bytes": self.sent_bytes_total,
+            "sent_wire_bytes": self.sent_wire_bytes_total,
             "recv_total": self.recv_total,
             "dropped": self.dropped_packets,
             "sent_by_event": dict(self.sent_by_event),
@@ -96,8 +106,10 @@ class NodeStats:
         """Zero every counter (used between experiment phases)."""
         self.sent_packets.clear()
         self.sent_bytes.clear()
+        self.sent_wire_bytes.clear()
         self.recv_packets.clear()
         self.recv_bytes.clear()
+        self.recv_wire_bytes.clear()
         self.sent_by_event.clear()
         self.recv_by_event.clear()
         self.dropped_packets = 0
@@ -107,7 +119,8 @@ def aggregate(stats: list[NodeStats]) -> dict:
     """Network-wide totals across ``stats``."""
     total = {
         "sent_total": 0, "sent_data": 0, "sent_control": 0,
-        "recv_total": 0, "sent_bytes": 0, "dropped": 0,
+        "recv_total": 0, "sent_bytes": 0, "sent_wire_bytes": 0,
+        "dropped": 0,
     }
     for node_stats in stats:
         total["sent_total"] += node_stats.sent_total
@@ -115,5 +128,6 @@ def aggregate(stats: list[NodeStats]) -> dict:
         total["sent_control"] += node_stats.sent_control
         total["recv_total"] += node_stats.recv_total
         total["sent_bytes"] += node_stats.sent_bytes_total
+        total["sent_wire_bytes"] += node_stats.sent_wire_bytes_total
         total["dropped"] += node_stats.dropped_packets
     return total

@@ -1,0 +1,191 @@
+"""The compact wire codec: round-trips, charges, interning, framing.
+
+Three contracts under test:
+
+* **round-trip** — ``decode_payload(encode_payload(x)[0]) == x`` for every
+  value the wire format covers, including nested messages and re-embedded
+  frozen blobs;
+* **charge parity** — the charge returned by :func:`encode_payload` equals
+  the legacy :func:`estimate_size` on the same object, bit for bit: the
+  codec changed the wire representation, never the accounting;
+* **framing** — varints, zigzag, inline small ints and the interned-key
+  table behave exactly as documented (the table is a wire contract:
+  ids are registration order).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Message, codec, estimate_size
+from repro.kernel.codec import (CodecError, decode_payload, encode_payload,
+                                register_wire_key, wire_key_table)
+from repro.kernel.message import WirePayload
+
+# -- strategies ---------------------------------------------------------------
+
+#: Scalars the wire format covers.  Text draws from a pool that mixes
+#: interned key names with arbitrary strings, so the 0x05/0x06 split is
+#: exercised constantly — including strings *equal to* registered keys in
+#: value position (the interned form must round-trip to an equal str).
+interned_names = st.sampled_from(sorted(wire_key_table()))
+wire_text = st.one_of(st.text(max_size=16), interned_names)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2 ** 70), 2 ** 70),
+    st.floats(allow_nan=False),
+    wire_text,
+    st.binary(max_size=32),
+)
+
+wire_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.lists(children, max_size=5).map(tuple),
+        st.dictionaries(wire_text, children, max_size=5),
+        st.frozensets(st.one_of(st.integers(), wire_text), max_size=5),
+        st.frozensets(st.one_of(st.integers(), wire_text),
+                      max_size=5).map(set),
+    ),
+    max_leaves=24,
+)
+
+header_stacks = st.lists(st.one_of(
+    st.dictionaries(wire_text,
+                    st.one_of(st.integers(), wire_text), max_size=4),
+    st.tuples(wire_text, st.integers(0, 99)),
+    wire_text,
+), max_size=6)
+
+
+# -- round-trip properties ----------------------------------------------------
+
+class TestRoundTrip:
+    @given(value=wire_values)
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_payloads_round_trip_with_charge_parity(self, value):
+        blob, charge = encode_payload(value)
+        assert decode_payload(blob) == value
+        assert charge == estimate_size(value)
+
+    @given(payload=wire_values, headers=header_stacks)
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_header_stacks_round_trip(self, payload, headers):
+        message = Message(payload=payload, headers=headers)
+        blob, charge = encode_payload(message)
+        back = decode_payload(blob)
+        assert back.headers == headers
+        assert back == message
+        assert charge == estimate_size(message)
+
+    @given(value=wire_values)
+    @settings(max_examples=150, deadline=None)
+    def test_parity_mode_accepts_everything_encodable(self, value):
+        codec.set_parity(True)
+        try:
+            encode_payload(value)
+        finally:
+            codec.set_parity(False)
+
+    def test_container_types_are_preserved(self):
+        for value in ([1], (1,), {1}, frozenset({1}), bytearray(b"x")):
+            back = decode_payload(encode_payload(value)[0])
+            assert type(back) is type(value)
+            assert back == value
+
+
+# -- framing ------------------------------------------------------------------
+
+class TestFraming:
+    @pytest.mark.parametrize("value", [
+        0, 1, 0x7F, 0x80, 0x3FFF, 0x4000, -1, -64, -65, -0x4000,
+        2 ** 63, -(2 ** 63), 2 ** 200, -(2 ** 200),
+    ])
+    def test_varint_boundary_ints(self, value):
+        blob, charge = encode_payload(value)
+        assert decode_payload(blob) == value
+        assert charge == 4  # legacy flat int charge, any magnitude
+
+    def test_small_ints_are_one_byte(self):
+        for value in (0, 1, 127):
+            blob, _ = encode_payload(value)
+            assert len(blob) == 1, value
+        assert len(encode_payload(128)[0]) > 1
+
+    def test_interned_keys_shrink_to_two_bytes(self):
+        blob, charge = encode_payload("coordinator")
+        assert len(blob) == 2  # tag + varint id
+        assert charge == len("coordinator")  # charge unaffected
+        assert decode_payload(blob) == "coordinator"
+
+    def test_non_interned_strings_carry_their_text(self):
+        blob, charge = encode_payload("not-a-registered-key!")
+        assert b"not-a-registered-key!" in bytes(blob)
+        assert charge == len("not-a-registered-key!")
+
+    def test_registration_is_idempotent_and_ordered(self):
+        table = wire_key_table()
+        first = register_wire_key("test-codec-private-key")
+        assert register_wire_key("test-codec-private-key") == first
+        assert first == len(table)  # appended at the next id
+        blob, _ = encode_payload("test-codec-private-key")
+        assert len(blob) <= 3
+        assert decode_payload(blob) == "test-codec-private-key"
+
+    def test_truncated_blobs_raise(self):
+        blob, _ = encode_payload({"kind": "hb", "seq": 12345678})
+        for cut in range(len(blob)):
+            with pytest.raises(CodecError):
+                decode_payload(blob[:cut])
+
+    def test_trailing_garbage_raises(self):
+        blob, _ = encode_payload([1, 2, 3])
+        with pytest.raises(CodecError):
+            decode_payload(blob + b"\x00")
+
+    def test_unknown_interned_id_raises(self):
+        with pytest.raises(CodecError):
+            decode_payload(bytes([0x06, 0xFF, 0xFF, 0xFF, 0x7F]))
+
+
+# -- structured leaves --------------------------------------------------------
+
+class TestStructuredLeaves:
+    def test_nested_message_round_trips(self):
+        inner = Message(payload={"body": ["x"], "seq": 3})
+        inner.push_header(("rm", 7))
+        outer = {"msg": inner, "ttl": 2}
+        blob, charge = encode_payload(outer)
+        back = decode_payload(blob)
+        assert back["msg"] == inner
+        assert back["ttl"] == 2
+        assert charge == estimate_size(outer)
+
+    def test_wire_payload_reembeds_verbatim(self):
+        wire = Message(payload={"kind": "data", "seq": 9}).wire_copy()
+        frozen = wire._payload
+        assert type(frozen) is WirePayload
+        blob, charge = encode_payload(frozen)
+        assert frozen.blob in blob  # verbatim, no re-encode
+        assert charge == frozen.size_bytes
+        back = decode_payload(blob)
+        assert type(back) is WirePayload
+        assert back == frozen
+        assert back.decoded() == {"kind": "data", "seq": 9}
+
+    def test_exotic_types_raise_codec_error(self):
+        class Custom:
+            pass
+
+        for value in (Custom(), object, int, {"k": Custom()}):
+            with pytest.raises(CodecError):
+                encode_payload(value)
+
+    def test_bool_is_not_encoded_as_int(self):
+        back = decode_payload(encode_payload([True, 1, False, 0])[0])
+        assert [type(item) for item in back] == [bool, int, bool, int]

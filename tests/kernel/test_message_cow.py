@@ -199,13 +199,18 @@ class TestWireSnapshotCache:
 
     def test_nested_message_payloads_share_via_the_cache(self):
         # Gossip/retransmission pattern: a control payload carrying a
-        # Message; every relay's wire copy must reuse the inner snapshot.
+        # Message; every relay's wire copy must reuse the inner message's
+        # one payload encode (shared through its copy-family cache cell).
         inner = Message(payload={"body": ["x"]})
-        outer_a = Message(payload={"msg": inner.copy(), "ttl": 3})
-        outer_b = Message(payload={"msg": inner.copy(), "ttl": 3})
+        clone_a, clone_b = inner.copy(), inner.copy()
+        outer_a = Message(payload={"msg": clone_a, "ttl": 3})
+        outer_b = Message(payload={"msg": clone_b, "ttl": 3})
         wire_a = outer_a.wire_copy()
         wire_b = outer_b.wire_copy()
-        assert wire_a.payload["msg"].payload is wire_b.payload["msg"].payload
+        assert clone_a._wire_cache[0] is clone_b._wire_cache[0]
+        assert wire_a.payload["msg"].payload \
+            == wire_b.payload["msg"].payload \
+            == {"body": ["x"]}
 
     def test_immutable_payloads_pass_through(self):
         message = Message(payload=b"raw-bytes")
