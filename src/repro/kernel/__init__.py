@@ -10,7 +10,10 @@ Public surface:
   (:mod:`repro.kernel.message`);
 * :class:`~repro.kernel.scheduler.Kernel` — the per-node event scheduler;
 * XML channel descriptions (:mod:`repro.kernel.xml_config`) used by the Core
-  reconfigurator to deploy stacks at run time.
+  reconfigurator to deploy stacks at run time;
+* the transport seam (:mod:`repro.kernel.packet`,
+  :mod:`repro.kernel.transport`) — the packet record and the structural
+  protocols every transport backend (simulated or live) satisfies.
 """
 
 from repro.kernel.channel import Channel, ChannelState, TimerHandle
@@ -25,12 +28,17 @@ from repro.kernel.events import (BackoffTimerEvent, ChannelClose,
                                  TimerEvent)
 from repro.kernel.layer import Layer
 from repro.kernel.message import Message, estimate_size
+from repro.kernel.packet import (CONTROL, DATA, PACKET_OVERHEAD_BYTES,
+                                 SRC_FIELD_OVERHEAD, Packet)
 from repro.kernel.qos import QoS
 from repro.kernel.registry import (is_registered, register_layer,
                                    registered_layers, resolve_layer,
                                    unregister_layer)
 from repro.kernel.scheduler import Kernel
 from repro.kernel.session import Session
+from repro.kernel.transport import (DatagramTransportLayer,
+                                    DatagramTransportSession, Transport,
+                                    TransportEndpoint)
 from repro.kernel.xml_config import (ChannelTemplate, LayerSpec, coerce_scalar,
                                      dump_config, parse_config)
 
@@ -43,6 +51,10 @@ __all__ = [
     "DebugEvent", "Direction",
     "EchoEvent", "Event", "PeriodicTimerEvent", "SendableEvent", "TimerEvent",
     "Layer", "Message", "estimate_size", "QoS",
+    "CONTROL", "DATA", "PACKET_OVERHEAD_BYTES", "SRC_FIELD_OVERHEAD",
+    "Packet",
+    "DatagramTransportLayer", "DatagramTransportSession", "Transport",
+    "TransportEndpoint",
     "is_registered", "register_layer", "registered_layers", "resolve_layer",
     "unregister_layer",
     "Kernel", "Session",

@@ -68,7 +68,8 @@ from typing import Any, Callable
 
 __all__ = [
     "CodecError", "PARITY", "decode_payload", "encode_payload",
-    "register_wire_key", "set_parity", "wire_key_table",
+    "register_wire_key", "resolve_event_class", "set_parity",
+    "wire_key_table",
 ]
 
 
@@ -254,6 +255,21 @@ def _encode(out: bytearray, obj: Any) -> int:
             payload = obj.wire_copy()._payload
         charge += _encode(out, payload)
         return charge
+    if isinstance(obj, type):
+        # Event-class references: retransmission stores, gossip relays and
+        # fragment reassembly all ship the original event's class so the
+        # receiver can re-instantiate it.  The class's unique ``__name__``
+        # is already the wire contract (datagram frames resolve event
+        # classes the same way); the charge mirrors the legacy estimate
+        # for a class object.
+        from repro.kernel.events import SendableEvent
+        if issubclass(obj, SendableEvent):
+            from repro.kernel.message import estimate_size
+            out.append(0x10)
+            encoded = obj.__name__.encode("utf-8")
+            _append_varint(out, len(encoded))
+            out += encoded
+            return estimate_size(obj)
     raise CodecError(f"cannot wire-encode {kind.__name__}")
 
 
@@ -353,7 +369,47 @@ def _decode(buf: bytes, pos: int) -> tuple[Any, int]:
         blob = buf[pos:end]
         charge, pos = _read_varint(buf, end)
         return WirePayload(blob, charge), pos
+    if tag == 0x10:
+        length, pos = _read_varint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise CodecError("truncated class name")
+        try:
+            name = buf[pos:end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CodecError(f"malformed class name: {exc}") from None
+        return resolve_event_class(name), end
     raise CodecError(f"unknown wire tag 0x{tag:02X}")
+
+
+#: Name → class map over the SendableEvent subclass tree, rebuilt once on
+#: a miss (classes defined after the first decode are still found).
+_EVENT_CLASS_CACHE: dict[str, type] = {}
+
+
+def resolve_event_class(name: str) -> type:
+    """Resolve a wire event-class name against the SendableEvent tree.
+
+    Unique ``__name__``s are the :class:`SendableEvent` wire contract;
+    both the datagram frame header and embedded class references (tag
+    ``0x10``) resolve through here.
+
+    Raises:
+        CodecError: for names matching no known sendable event class.
+    """
+    cls = _EVENT_CLASS_CACHE.get(name)
+    if cls is None:
+        from repro.kernel.events import SendableEvent
+        _EVENT_CLASS_CACHE.clear()
+        stack: list[type] = [SendableEvent]
+        while stack:
+            candidate = stack.pop()
+            _EVENT_CLASS_CACHE[candidate.__name__] = candidate
+            stack.extend(candidate.__subclasses__())
+        cls = _EVENT_CLASS_CACHE.get(name)
+        if cls is None:
+            raise CodecError(f"unknown wire event class {name!r}")
+    return cls
 
 
 def decode_payload(blob: bytes) -> Any:

@@ -1,0 +1,41 @@
+"""Real asyncio UDP transport backend: the stack as a deployable library.
+
+The same protocol kernel that runs against the deterministic simulator
+(:mod:`repro.simnet`) binds here to real localhost sockets:
+
+* :class:`~repro.livenet.clock.WallClock` — a wall-clock scheduler adapter
+  driving the kernel's one-shot/backoff timer primitives on an asyncio
+  loop, with an optional ``time_scale`` so virtual-second scenarios
+  compress into fast real-time runs;
+* :mod:`repro.livenet.frame` — the datagram frame putting ``Packet``
+  metadata plus the PR 7 codec's ``WirePayload`` blobs directly on the
+  wire (varint-framed header over :mod:`repro.kernel.codec`);
+* :class:`~repro.livenet.network.LiveNetwork` /
+  :class:`~repro.livenet.node.LiveNode` — the asyncio counterpart of
+  ``Network``/``SimNode``, satisfying the same
+  :class:`~repro.kernel.transport.Transport` seam;
+* :class:`~repro.livenet.impair.LoopbackImpairments` — deterministic
+  seeded loss/delay injection inside the transport (tc-style egress
+  shaping), so canned scenarios replay against real sockets;
+* :class:`~repro.livenet.runner.LiveScenarioRunner` — replays declarative
+  scenarios over sockets, keeping the simulated twin as the conformance
+  oracle (:mod:`repro.livenet.conformance`).
+"""
+
+from repro.livenet.clock import WallClock
+from repro.livenet.frame import (FRAME_MAGIC, FRAME_VERSION,
+                                 MAX_DATAGRAM_BYTES, decode_frame,
+                                 encode_frame, resolve_event_class)
+from repro.livenet.impair import LoopbackImpairments
+from repro.livenet.network import LiveNetwork
+from repro.livenet.node import LiveNode
+from repro.livenet.runner import LiveScenarioRunner, run_scenario_live
+
+__all__ = [
+    "WallClock",
+    "FRAME_MAGIC", "FRAME_VERSION", "MAX_DATAGRAM_BYTES",
+    "decode_frame", "encode_frame", "resolve_event_class",
+    "LoopbackImpairments",
+    "LiveNetwork", "LiveNode",
+    "LiveScenarioRunner", "run_scenario_live",
+]

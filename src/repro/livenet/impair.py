@@ -1,0 +1,70 @@
+"""Loopback impairment shim: tc-style egress shaping inside the transport.
+
+Localhost UDP is, for these workloads, effectively instant and lossless —
+useless for replaying scenarios whose whole point is loss, latency and
+partitions.  This shim reproduces the simulator's link model at the live
+transport's egress: every locally-routed datagram is charged the same
+per-hop delay (:meth:`LinkParams.delay_for`) and passed through the same
+seeded :class:`~repro.simnet.loss.LossModel` draws the simulator would
+apply, using the same fixed/mobile hop topology
+(:meth:`~repro.simnet.network.Network._hops_between`'s rules).  The
+delayed send is scheduled on the :class:`~repro.livenet.clock.WallClock`,
+so impairment delays live in virtual time and compress with the run's
+``time_scale``.
+
+The shim deliberately *shares* the :class:`LinkParams` objects with its
+:class:`~repro.livenet.network.LiveNetwork`: a live loss-model swap
+(``set_wireless_loss``) changes subsequent draws here exactly as it does
+in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simnet.network import LinkParams
+from repro.simnet.node import NodeKind
+
+
+class LoopbackImpairments:
+    """Deterministic seeded loss/delay planning for locally-routed frames.
+
+    Args:
+        wired: LAN-segment link parameters (shared with the network).
+        wireless: wireless-hop link parameters (shared with the network).
+    """
+
+    def __init__(self, wired: LinkParams, wireless: LinkParams) -> None:
+        self.wired = wired
+        self.wireless = wireless
+
+    def hops_between(self, src_kind: NodeKind,
+                     dst_kind: NodeKind) -> list[LinkParams]:
+        """The link hops a packet crosses, by endpoint segment.
+
+        Same topology rules as the simulator: fixed↔fixed stays on the
+        wire, crossing the access point adds a wireless hop each side of
+        it, mobile↔mobile relays through the AP (two wireless hops).
+        """
+        if src_kind is NodeKind.FIXED and dst_kind is NodeKind.FIXED:
+            return [self.wired]
+        if src_kind is NodeKind.FIXED and dst_kind is NodeKind.MOBILE:
+            return [self.wired, self.wireless]
+        if src_kind is NodeKind.MOBILE and dst_kind is NodeKind.FIXED:
+            return [self.wireless, self.wired]
+        return [self.wireless, self.wireless]
+
+    def plan(self, src_kind: NodeKind, dst_kind: NodeKind,
+             size_bytes: int) -> Optional[float]:
+        """Loss/delay decision for one packet.
+
+        Returns the total virtual delay in seconds, or ``None`` when a
+        hop's loss model eats the packet.  One loss draw and one delay
+        charge per hop, in hop order — the simulator's exact sequence.
+        """
+        delay = 0.0
+        for link in self.hops_between(src_kind, dst_kind):
+            if link.loss.is_lost(size_bytes):
+                return None
+            delay += link.delay_for(size_bytes)
+        return delay

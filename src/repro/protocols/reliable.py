@@ -93,6 +93,10 @@ class ReliableMulticastSession(GroupSession):
         self._advertised_own = 0
         self._sync_repeats = 0
         self._advertised: dict[str, int] = {}
+        #: Consecutive gap scans per sender with no progress: rotates the
+        #: NACK target (see :meth:`_nack_target`) so recovery survives a
+        #: source that will never answer again.
+        self._nack_rounds: dict[str, int] = {}
         #: Diagnostics for tests and the control-overhead ablation.
         self.duplicates_dropped = 0
         #: Frames from a stack with different framing (generation skew
@@ -149,6 +153,7 @@ class ReliableMulticastSession(GroupSession):
         self._idle_ticks = 0
         self._advertised_own = 0
         self._advertised.clear()
+        self._nack_rounds.clear()
 
     # -- dispatch --------------------------------------------------------------
 
@@ -260,6 +265,12 @@ class ReliableMulticastSession(GroupSession):
 
     def _deliver(self, sender: str, seqno: int, snapshot: _StoredMessage,
                  channel) -> None:
+        # In-order progress (the gap at the head was repaired): recovery
+        # works, so the next NACK for this sender starts at the source
+        # again.  Out-of-order arrivals must NOT reset the rotation — a
+        # live source streaming past a permanent gap would otherwise pin
+        # every retry onto itself, even when it can no longer answer.
+        self._nack_rounds.pop(sender, None)
         self.delivered[sender] = seqno
         self.store[(sender, seqno)] = snapshot
         fresh = snapshot.cls(message=snapshot.message.copy(), source=sender,
@@ -332,9 +343,11 @@ class ReliableMulticastSession(GroupSession):
                     wanted.setdefault(sender, []).extend(missing)
         for sender, seqs in wanted.items():
             unique = sorted(set(seqs))[:self.max_nack_batch]
-            target = self._nack_target(sender)
+            rounds = self._nack_rounds.get(sender, 0)
+            target = self._nack_target(sender, rounds)
             if target is None or target == self.local:
                 continue
+            self._nack_rounds[sender] = rounds + 1
             nack = self.control_message(
                 NackMessage,
                 {"from": self.local, "sender": sender, "seqs": unique,
@@ -343,12 +356,30 @@ class ReliableMulticastSession(GroupSession):
             self.nacks_sent += 1
             self.send_down(nack, channel=channel)
 
-    def _nack_target(self, sender: str) -> Optional[str]:
+    def _nack_target(self, sender: str, rounds: int = 0) -> Optional[str]:
+        """Whom to ask for ``sender``'s missing messages.
+
+        The source goes first (it always holds its own traffic), but any
+        member that delivered a message keeps a copy in ``store`` and
+        :meth:`_serve_nack` serves other senders' messages too — so after
+        a scan tick with no progress the request rotates through the
+        remaining members.  Without the rotation a source that will never
+        answer (crashed mid-flush, or already swapped to the next channel
+        generation during a reconfiguration) wedges every peer that still
+        needs one of its messages to reach the agreed cut.
+        """
+        candidates = []
         if sender in self.members and sender != self.local:
-            return sender
-        if self.cut_coordinator and self.cut_coordinator != self.local:
-            return self.cut_coordinator
-        return None
+            candidates.append(sender)
+        for member in sorted(self.members):
+            if member != self.local and member != sender:
+                candidates.append(member)
+        if self.cut_coordinator and self.cut_coordinator != self.local \
+                and self.cut_coordinator not in candidates:
+            candidates.append(self.cut_coordinator)
+        if not candidates:
+            return None
+        return candidates[rounds % len(candidates)]
 
     def _serve_nack(self, event: NackMessage) -> None:
         payload = self.payload_of(event)

@@ -166,7 +166,7 @@ class ScenarioRunner:
         #: per-delivery escape hatch the batching parity tests compare
         #: against (histories must be byte-identical either way).
         self.batched = batched
-        self.engine: Optional[SimEngine] = None
+        self.engine = None
         self.network: Optional[Network] = None
         self.morpheus: dict[str, MorpheusNode] = {}
         self._trace: list[str] = []
@@ -213,7 +213,22 @@ class ScenarioRunner:
                 stack_options=stack_options, **options)
         return HybridMechoPolicy(stack_options=stack_options, **options)
 
-    def _add_sim_node(self, spec) -> None:
+    def _build_network(self):
+        """Backend hook: construct the run's network on ``self.engine``.
+
+        The live runner (:class:`repro.livenet.runner.LiveScenarioRunner`)
+        overrides this (and :meth:`run`) — everything else in the runner
+        is written against the shared Transport surface and runs on
+        either backend unchanged.
+        """
+        scenario = self.scenario
+        return Network(
+            self.engine, seed=self.seed,
+            wired=self._link(scenario.wired, "wired"),
+            wireless=self._link(scenario.wireless, "wireless"),
+            batched=self.batched)
+
+    def _add_node(self, spec) -> None:
         assert self.network is not None
         battery = Battery(capacity_mj=spec.battery_mj) \
             if spec.battery_mj is not None else None
@@ -301,7 +316,7 @@ class ScenarioRunner:
             self.network.remove_node(node_id)
 
     def _join(self, spec) -> None:
-        self._add_sim_node(spec)
+        self._add_node(spec)
         # Bootstrap peers: the *live* group (left nodes solicit nobody).
         live = set(self.morpheus) & set(self.network.nodes)
         members = sorted(live | {spec.node_id})
@@ -310,31 +325,36 @@ class ScenarioRunner:
     # -- the run itself -------------------------------------------------------
 
     def run(self) -> ScenarioResult:
-        scenario = self.scenario
         self.engine = self.engine_factory()
-        self.network = Network(
-            self.engine, seed=self.seed,
-            wired=self._link(scenario.wired, "wired"),
-            wireless=self._link(scenario.wireless, "wireless"),
-            batched=self.batched)
-        for spec in scenario.nodes:
+        self.network = self._build_network()
+        self._populate()
+        self._schedule()
+        self.engine.run_until(self.scenario.duration_s)
+        return self._finalize()
+
+    def _populate(self) -> None:
+        """Create the t=0 nodes and boot their Morpheus stacks."""
+        for spec in self.scenario.nodes:
             if spec.join_at is None:
-                self._add_sim_node(spec)
-        initial = scenario.initial_members()
+                self._add_node(spec)
+        initial = self.scenario.initial_members()
         for node_id in initial:
             self._boot_morpheus(node_id, initial, joining=False)
         # Trace topology changes from here on (bootstrapping is not news).
         self.network.subscribe_topology(self._on_topology)
 
-        for spec in scenario.joiners():
+    def _schedule(self) -> None:
+        """Queue every join, topology event and workload burst."""
+        for spec in self.scenario.joiners():
             self.engine.call_at(spec.join_at, lambda s=spec: self._join(s))
-        for index, event in enumerate(scenario.events):
+        for index, event in enumerate(self.scenario.events):
             self.engine.call_at(event.at,
                                 lambda e=event, i=index: self._apply(e, i))
-        for burst in scenario.workload:
+        for burst in self.scenario.workload:
             self._schedule_burst(burst)
 
-        self.engine.run_until(scenario.duration_s)
+    def _finalize(self) -> ScenarioResult:
+        """Collect the result and enforce the installed invariants."""
         result = self._collect()
         if self.invariants:
             violations: list[str] = []
@@ -391,7 +411,23 @@ class ScenarioRunner:
 def run_scenario(scenario: Scenario, seed: int = 0,
                  engine_factory=SimEngine,
                  invariants: Sequence[InvariantCheck] = (),
-                 batched: bool = True) -> ScenarioResult:
-    """One-call convenience: build a runner and execute the scenario."""
+                 batched: bool = True, backend: str = "sim",
+                 **live_options) -> ScenarioResult:
+    """One-call convenience: build a runner and execute the scenario.
+
+    ``backend`` selects the transport: ``"sim"`` (default) runs on the
+    deterministic simulator; ``"live"`` replays the same scenario over
+    real asyncio UDP sockets with the loopback impairment shim
+    (``**live_options`` — e.g. ``time_scale`` — reach
+    :class:`repro.livenet.runner.LiveScenarioRunner`).
+    """
+    if backend == "live":
+        from repro.livenet.runner import LiveScenarioRunner
+        return LiveScenarioRunner(scenario, seed=seed,
+                                  invariants=invariants,
+                                  **live_options).run()
+    if backend != "sim":
+        raise ValueError(f"unknown backend {backend!r}; "
+                         "expected 'sim' or 'live'")
     return ScenarioRunner(scenario, seed=seed, engine_factory=engine_factory,
                           invariants=invariants, batched=batched).run()

@@ -1,133 +1,31 @@
-"""The bottom-of-stack transport layer bridging Appia channels to the NIC.
+"""The bottom-of-stack transport layer, bound to the simulated network.
 
-``SimTransportLayer`` plays the role of Appia's UDP transport: DOWN-travelling
-:class:`~repro.kernel.events.SendableEvent` instances become packets on the
-simulated network; arriving packets are reconstructed into correctly-typed
-events and injected upwards.
-
-One transport *session* is shared by every channel of a node (the paper's
-control channel and data channels all reach the same NIC), using the
-kernel's session-sharing mechanism: the session label ``"transport"`` in XML
-descriptions binds each new channel to the node's existing session.
-
-Addressing convention carried by ``SendableEvent.dest``:
-
-* ``"node-id"`` — unicast;
-* ``("a", "b", ...)`` — native multicast (one transmission), legal only
-  within a segment (see :mod:`repro.simnet.network`).
-
-Wire framing: the outgoing message is frozen with
-:meth:`~repro.kernel.message.Message.wire_copy` (an O(1) copy-on-write
-handle with mutable payloads snapshotted once per transmission), and the
-logical sender travels in the packet's first-class ``logical_src`` field.
-Earlier revisions smuggled the sender as a ``("__net_src__", src)``
-pseudo-header pushed onto the message stack, which forced a header pop on
-every delivery and a deep copy per receiver; the field form keeps the
-message structure untouched end to end, so a native-multicast transmission
-shares one frozen message across all receivers (each reconstructed event
-gets its own O(1) handle via :meth:`Packet.copy_for`).  The byte charge of
-the old pseudo-header is preserved by the packet's source-field accounting
-(:data:`repro.simnet.packet.SRC_FIELD_OVERHEAD`), so Figure-2/Figure-3 era
-counters are reproduced exactly.
+The send/receive logic is backend-neutral and lives in
+:mod:`repro.kernel.transport` (:class:`DatagramTransportSession`); this
+module contributes only the registered layer descriptor.  Its historical
+XML name ``"sim_transport"`` is kept for every checked-in template and
+recorded stack history — the descriptor itself is stateless and shared by
+the live backend too, because the transport *session* is preset through
+the ``"transport"`` binding label and carries the actual endpoint
+(a :class:`~repro.simnet.node.SimNode` here, a
+:class:`~repro.livenet.node.LiveNode` under :mod:`repro.livenet`).
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.kernel.channel import Channel
-from repro.kernel.events import (ChannelClose, ChannelInit, Direction, Event,
-                                 SendableEvent)
-from repro.kernel.layer import Layer
 from repro.kernel.registry import register_layer
-from repro.kernel.session import Session
-from repro.simnet.node import SimNode
-from repro.simnet.packet import Packet
+from repro.kernel.transport import (DatagramTransportLayer,
+                                    DatagramTransportSession)
 
-
-class SimTransportSession(Session):
-    """Session state: the owning node plus the channels bound through it."""
-
-    def __init__(self, layer: Layer, node: Optional[SimNode] = None) -> None:
-        super().__init__(layer)
-        self.node = node
-        self._channel_by_port: dict[str, Channel] = {}
-
-    def attach_node(self, node: SimNode) -> None:
-        """Late-bind the owning node (used when built programmatically)."""
-        self.node = node
-
-    # -- event handling ------------------------------------------------------
-
-    def handle(self, event: Event) -> None:
-        if isinstance(event, ChannelInit):
-            self._on_init(event)
-            event.go()
-        elif isinstance(event, ChannelClose):
-            self._on_close(event)
-            event.go()
-        elif isinstance(event, SendableEvent) and event.direction is Direction.DOWN:
-            self._send(event)
-        else:
-            event.go()
-
-    def _on_init(self, event: Event) -> None:
-        channel = event.channel
-        assert channel is not None
-        if self.node is None:
-            raise RuntimeError(
-                "SimTransportSession has no node attached; build the session "
-                "through the node facade (or call attach_node)")
-        port = channel.name
-        self._channel_by_port[port] = channel
-        channel.local_address = self.node.node_id
-        self.node.bind_port(port, self._incoming)
-
-    def _on_close(self, event: Event) -> None:
-        channel = event.channel
-        assert channel is not None
-        port = channel.name
-        if self._channel_by_port.get(port) is channel:
-            del self._channel_by_port[port]
-            if self.node is not None:
-                self.node.unbind_port(port)
-
-    # -- outbound ---------------------------------------------------------------
-
-    def _send(self, event: SendableEvent) -> None:
-        assert self.node is not None and event.channel is not None
-        if event.dest is None:
-            raise ValueError(f"outgoing {event!r} has no destination")
-        # The logical source may differ from the transmitting node when a
-        # relay forwards on behalf of a sender; it rides the packet field,
-        # not the header stack.
-        source = event.source if event.source is not None else self.node.node_id
-        packet = Packet(src=self.node.node_id, dst=event.dest,
-                        port=event.channel.name, event_cls=type(event),
-                        message=event.message.wire_copy(),
-                        logical_src=source,
-                        traffic_class=event.traffic_class)
-        self.node.send(packet)
-
-    # -- inbound ----------------------------------------------------------------
-
-    def _incoming(self, packet: Packet) -> None:
-        channel = self._channel_by_port.get(packet.port)
-        if channel is None:  # pragma: no cover - unbound race, defensive
-            return
-        # The packet owns its message handle (unicast: frozen at _send;
-        # multicast: a per-receiver handle from copy_for), so the event can
-        # adopt it directly — zero message copies on the delivery path.
-        event = packet.event_cls(message=packet.message,
-                                 source=packet.logical_src, dest=packet.dst)
-        self.send_up(event, channel=channel)
+#: Alias kept for the public simnet API: the session class is the generic
+#: kernel one (it drives any :class:`~repro.kernel.transport
+#: .TransportEndpoint`, simulated or live).
+SimTransportSession = DatagramTransportSession
 
 
 @register_layer
-class SimTransportLayer(Layer):
-    """Bottom layer: talks to the node's simulated NIC."""
+class SimTransportLayer(DatagramTransportLayer):
+    """Registered transport descriptor (XML name ``"sim_transport"``)."""
 
     layer_name = "sim_transport"
-    accepted_events = (SendableEvent,)
-    provided_events = (SendableEvent,)
     session_class = SimTransportSession

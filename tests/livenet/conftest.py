@@ -1,0 +1,39 @@
+"""Fixtures and guards for the livenet suite.
+
+Everything marked ``live`` opens real UDP loopback sockets and runs in
+(scaled) wall-clock time.  Sandboxes without a bindable loopback socket
+skip those tests at collection time instead of erroring inside asyncio;
+the frame and clock tests are pure in-process code and always run as part
+of the tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+
+def _loopback_udp_available() -> bool:
+    """Can this environment bind a UDP socket on 127.0.0.1 at all?"""
+    try:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    except OSError:
+        return False
+    try:
+        sock.bind(("127.0.0.1", 0))
+    except OSError:
+        return False
+    finally:
+        sock.close()
+    return True
+
+
+def pytest_collection_modifyitems(config, items):
+    if _loopback_udp_available():
+        return
+    skip = pytest.mark.skip(
+        reason="no bindable UDP loopback socket in this environment")
+    for item in items:
+        if "live" in item.keywords:
+            item.add_marker(skip)

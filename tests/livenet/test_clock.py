@@ -1,0 +1,344 @@
+"""The wall-clock scheduler adapter, driven by a hand-cranked time source.
+
+:class:`WallClock` must be behaviourally indistinguishable from
+:class:`~repro.simnet.engine.SimEngine` for any schedule the kernel can
+produce — same ``(when, seq)`` total order, same-instant FIFO, same lazy
+cancellation, same rearm-on-fire semantics for periodic and backoff
+timers.  The conformance suite leans on this: a live run whose timers
+fire in a different order than the oracle's diverges for reasons that
+have nothing to do with sockets.
+
+The tests inject a fake monotonic source and drive :meth:`poll` by hand,
+so everything here is deterministic and tier-1 fast.  One small asyncio
+test at the end exercises the real event-loop arming path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.kernel import Event, Kernel, Layer, Session, TimerEvent
+from repro.livenet import WallClock
+from repro.simnet.engine import SimEngine
+from tests.kernel.helpers import build_channel
+
+
+class FakeMonotonic:
+    """A hand-cranked stand-in for ``time.monotonic``."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self._now = start
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, real_seconds: float) -> None:
+        self._now += real_seconds
+
+
+@pytest.fixture
+def source():
+    return FakeMonotonic()
+
+
+@pytest.fixture
+def wall(source):
+    clock = WallClock(time_source=source, time_scale=1.0)
+    clock.start()
+    return clock
+
+
+# -- lazy anchoring -----------------------------------------------------------
+
+class TestLazyAnchor:
+    def test_now_reads_zero_until_started(self, source):
+        clock = WallClock(time_source=source)
+        assert not clock.started
+        source.advance(37.0)  # a slow synchronous boot
+        assert clock.now() == 0.0
+        clock.start()
+        assert clock.started
+        assert clock.now() == 0.0  # virtual 0 pinned *now*, not at ctor
+        source.advance(2.0)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_start_is_idempotent(self, source):
+        clock = WallClock(time_source=source)
+        clock.start()
+        source.advance(5.0)
+        clock.start()
+        assert clock.now() == pytest.approx(5.0)
+
+    def test_real_time_before_start_makes_nothing_due(self, source):
+        clock = WallClock(time_source=source)
+        fired = []
+        clock.call_later(0.5, lambda: fired.append("due"))
+        source.advance(10.0)  # real time passes during setup...
+        assert clock.poll() == 0  # ...but virtual time has not begun
+        clock.start()
+        assert clock.poll() == 0  # still not due: measured from virtual 0
+        source.advance(0.6)
+        assert clock.poll() == 1
+        assert fired == ["due"]
+
+    def test_setup_work_lands_at_virtual_zero(self, source):
+        """The scenario-boot property: however long synchronous setup
+        takes in real time, every timer it schedules is measured from
+        virtual 0."""
+        clock = WallClock(time_source=source, time_scale=10.0)
+        clock.call_later(1.0, lambda: None)   # a heartbeat armed during boot
+        source.advance(0.3)                    # 300 ms of real boot work
+        clock.start()
+        source.advance(0.09)                   # 0.9 virtual seconds
+        assert clock.poll() == 0               # not due: boot time didn't count
+        source.advance(0.02)
+        assert clock.poll() == 1
+
+
+# -- time scaling -------------------------------------------------------------
+
+class TestTimeScale:
+    def test_scale_compresses_real_time(self, source):
+        clock = WallClock(time_source=source, time_scale=10.0)
+        clock.start()
+        source.advance(0.5)
+        assert clock.now() == pytest.approx(5.0)
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ValueError):
+            WallClock(time_scale=0.0)
+        with pytest.raises(ValueError):
+            WallClock(time_scale=-1.0)
+
+
+# -- scheduling semantics -----------------------------------------------------
+
+class TestScheduling:
+    def test_negative_delay_rejected(self, wall):
+        with pytest.raises(ValueError):
+            wall.call_later(-0.1, lambda: None)
+
+    def test_fires_in_when_order(self, wall, source):
+        order = []
+        wall.call_later(3.0, lambda: order.append("c"))
+        wall.call_later(1.0, lambda: order.append("a"))
+        wall.call_later(2.0, lambda: order.append("b"))
+        source.advance(5.0)
+        assert wall.poll() == 3
+        assert order == ["a", "b", "c"]
+
+    def test_same_instant_fifo_by_schedule_order(self, wall, source):
+        order = []
+        for tag in ("first", "second", "third"):
+            wall.call_later(1.0, lambda tag=tag: order.append(tag))
+        source.advance(1.0)
+        wall.poll()
+        assert order == ["first", "second", "third"]
+
+    def test_cancel_before_fire(self, wall, source):
+        fired = []
+        handle = wall.call_later(1.0, lambda: fired.append("no"))
+        handle.cancel()
+        source.advance(2.0)
+        assert wall.poll() == 0
+        assert fired == []
+
+    def test_cancelled_entries_leave_pending(self, wall):
+        keep = wall.call_later(1.0, lambda: None)
+        drop = wall.call_later(2.0, lambda: None)
+        assert wall.pending == 2
+        drop.cancel()
+        assert wall.pending == 1
+        keep.cancel()
+        assert wall.pending == 0
+
+    def test_callback_may_cancel_a_later_entry(self, wall, source):
+        """Lazy cancellation: cancelling from inside a firing callback
+        suppresses an already-due sibling (the simulated engine's
+        contract for e.g. a heartbeat disarming a suspicion timer)."""
+        fired = []
+        victim = wall.call_later(2.0, lambda: fired.append("victim"))
+        wall.call_later(1.0, lambda: victim.cancel())
+        source.advance(3.0)
+        wall.poll()
+        assert fired == []
+
+    def test_callback_may_schedule_more_work(self, wall, source):
+        fired = []
+
+        def rearm():
+            fired.append("tick")
+            if len(fired) < 3:
+                wall.call_later(1.0, rearm)
+
+        wall.call_later(1.0, rearm)
+        for _ in range(8):
+            source.advance(0.5)
+            wall.poll()
+        assert fired == ["tick", "tick", "tick"]
+
+    def test_call_at_in_the_past_fires_asap(self, wall, source):
+        source.advance(5.0)
+        fired = []
+        wall.call_at(1.0, lambda: fired.append("late"))
+        assert wall.poll() == 1
+        assert fired == ["late"]
+
+
+# -- engine parity ------------------------------------------------------------
+
+def _mixed_schedule(clock, order, label):
+    """One schedule exercising interleaving, same-instant FIFO, nested
+    scheduling and mid-flight cancellation; identical on both clocks."""
+    clock.call_later(2.0, lambda: order.append((label, "b")))
+    clock.call_later(1.0, lambda: order.append((label, "a1")))
+    clock.call_later(1.0, lambda: order.append((label, "a2")))
+    victim = clock.call_later(4.0, lambda: order.append((label, "victim")))
+
+    def nested():
+        order.append((label, "c"))
+        victim.cancel()
+        clock.call_later(0.5, lambda: order.append((label, "d")))
+
+    clock.call_later(3.0, nested)
+    clock.call_at(3.5, lambda: order.append((label, "at")))
+
+
+class TestEngineParity:
+    def test_firing_order_matches_sim_engine(self, source):
+        sim_order, wall_order = [], []
+
+        engine = SimEngine()
+        _mixed_schedule(engine, sim_order, "x")
+        engine.run_until(10.0)
+
+        wall = WallClock(time_source=source)
+        wall.start()
+        _mixed_schedule(wall, wall_order, "x")
+        for _ in range(100):  # fine-grained steps: order must be stable
+            source.advance(0.1)
+            wall.poll()
+
+        assert wall_order == sim_order
+        assert wall.fired_count == len(wall_order)
+
+    def test_preexisting_due_entries_drain_in_when_seq_order(self, source):
+        """Even a single late drain fires everything already on the heap
+        in the same ``(when, seq)`` total order the engine would use —
+        arrival lateness never reorders a backlog."""
+        order = []
+        wall = WallClock(time_source=source)
+        wall.start()
+        wall.call_later(3.0, lambda: order.append("c"))
+        wall.call_later(1.0, lambda: order.append("a1"))
+        wall.call_later(1.0, lambda: order.append("a2"))
+        wall.call_at(2.0, lambda: order.append("b"))
+        source.advance(10.0)
+        assert wall.poll() == 4
+        assert order == ["a1", "a2", "b", "c"]
+
+
+# -- kernel timer integration -------------------------------------------------
+
+class _TimerSession(Session):
+    def __init__(self, layer: Layer) -> None:
+        super().__init__(layer)
+        self.fired: list[TimerEvent] = []
+
+    def handle(self, event: Event) -> None:
+        if isinstance(event, TimerEvent):
+            self.fired.append(event)
+            return
+        event.go()
+
+
+class _TimerLayer(Layer):
+    accepted_events = (TimerEvent,)
+    session_class = _TimerSession
+
+
+class TestKernelTimers:
+    """The kernel's timer primitives behave on a WallClock exactly as they
+    do on the manual clock in ``tests/kernel/test_timers.py``."""
+
+    @pytest.fixture
+    def kernel(self, wall):
+        return Kernel(clock=wall, name="live-node")
+
+    def _advance(self, source, wall, seconds, step=0.1):
+        remaining = seconds
+        while remaining > 1e-9:
+            chunk = min(step, remaining)
+            source.advance(chunk)
+            wall.poll()
+            remaining -= chunk
+
+    def test_one_shot(self, kernel, wall, source):
+        session = build_channel(kernel, [_TimerLayer()]).sessions[0]
+        session.set_timer(5.0, tag="once")
+        self._advance(source, wall, 4.9)
+        assert session.fired == []
+        self._advance(source, wall, 0.2)
+        assert [event.tag for event in session.fired] == ["once"]
+
+    def test_periodic_rearms_on_fire_until_cancelled(self, kernel, wall,
+                                                     source):
+        session = build_channel(kernel, [_TimerLayer()]).sessions[0]
+        handle = session.set_periodic_timer(2.0, tag="tick")
+        self._advance(source, wall, 7.0)  # fires at 2, 4, 6
+        assert len(session.fired) == 3
+        handle.cancel()
+        self._advance(source, wall, 10.0)
+        assert len(session.fired) == 3
+
+    def test_backoff_doubles_to_the_cap(self, kernel, wall, source):
+        session = build_channel(kernel, [_TimerLayer()]).sessions[0]
+        handle = session.set_backoff_timer(1.0, tag="probe", max_interval=4.0)
+        self._advance(source, wall, 3.5)  # fires at ~1.0 and ~3.0
+        assert len(session.fired) == 2
+        assert handle.event.attempt == 2
+        assert handle.event.interval == 4.0
+
+    def test_one_clock_entry_per_backoff_attempt(self, kernel, wall, source):
+        session = build_channel(kernel, [_TimerLayer()]).sessions[0]
+        session.set_backoff_timer(1.0, tag="probe", max_interval=16.0)
+        self._advance(source, wall, 60.0, step=0.5)
+        assert wall.pending == 1
+
+
+# -- asyncio arming -----------------------------------------------------------
+
+class TestAsyncioIntegration:
+    def test_run_until_fires_from_loop_timers(self):
+        """The real path: attach to a loop, arm wakeups, fire on time.
+        time_scale=200 keeps the wall-clock cost of 10 virtual seconds
+        at ~50 ms."""
+        async def scenario():
+            clock = WallClock(time_scale=200.0)
+            clock.attach(asyncio.get_running_loop())
+            order = []
+            clock.call_later(2.0, lambda: order.append("a"))
+            clock.call_later(2.0, lambda: order.append("b"))
+            clock.call_later(6.0, lambda: order.append("c"))
+            doomed = clock.call_later(9.0, lambda: order.append("doomed"))
+            doomed.cancel()
+            assert clock.now() == 0.0  # attach alone must not start time
+            await clock.run_until(10.0)
+            clock.shutdown()
+            return order, clock.now()
+
+        order, final_now = asyncio.run(scenario())
+        assert order == ["a", "b", "c"]
+        assert final_now >= 10.0
+
+    def test_attaching_a_second_loop_is_an_error(self):
+        clock = WallClock()
+
+        async def bind():
+            clock.attach(asyncio.get_running_loop())
+
+        asyncio.run(bind())
+        with pytest.raises(RuntimeError):
+            asyncio.run(bind())

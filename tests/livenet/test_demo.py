@@ -1,0 +1,37 @@
+"""The multi-process live demo is part of the public surface: it must run.
+
+``examples/adaptive_chat.py --live`` spawns one real OS process per
+device; the processes talk only through localhost UDP datagrams and the
+script asserts its own claims (every line delivered everywhere, FIFO per
+sender, one shared view, group-wide reconfiguration to Mecho).  This test
+just executes it and requires a clean exit — marked ``live`` since it
+opens real sockets and takes wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.live
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def test_live_demo_runs_four_processes():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_ROOT / "src")] +
+        ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    result = subprocess.run(
+        [sys.executable, str(_ROOT / "examples" / "adaptive_chat.py"),
+         "--live", "--nodes", "4"],
+        capture_output=True, text=True, timeout=180, env=env)
+    assert result.returncode == 0, (
+        f"--live demo failed:\n--- stdout ---\n{result.stdout[-3000:]}"
+        f"\n--- stderr ---\n{result.stderr[-3000:]}")
+    assert "entirely over localhost UDP" in result.stdout

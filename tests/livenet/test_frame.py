@@ -1,0 +1,234 @@
+"""The datagram frame: round-trips and the adversarial-input contract.
+
+Two properties carry the live wire:
+
+* **round-trip** — ``decode_frame(encode_frame(p))`` rebuilds a packet
+  whose every meta field and carried message equal the original's, for
+  arbitrary payloads, header stacks, and every stack-deployable event
+  class;
+* **total safety** — every malformed datagram (truncation, garbage,
+  single-byte corruption, oversize, bad magic, unknown version, unknown
+  event class) raises :class:`CodecError` and nothing else.  The receive
+  loop counts and drops on that one exception; any other escape would
+  crash a live node.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import codec
+from repro.kernel.codec import (CodecError, decode_payload, encode_payload,
+                                resolve_event_class, wire_key_table)
+from repro.kernel.message import Message, estimate_size
+from repro.kernel.packet import CONTROL, DATA, Packet
+from repro.livenet.frame import (FRAME_MAGIC, FRAME_VERSION,
+                                 MAX_DATAGRAM_BYTES, decode_frame,
+                                 encode_frame)
+from repro.protocols.events import (ApplicationMessage, CoreMessage,
+                                    HeartbeatMessage, MembershipMessage,
+                                    NackMessage, RetransmissionMessage)
+
+# -- strategies ---------------------------------------------------------------
+
+EVENT_CLASSES = (ApplicationMessage, HeartbeatMessage, MembershipMessage,
+                 NackMessage, RetransmissionMessage, CoreMessage)
+
+node_ids = st.sampled_from(
+    ["fixed-0", "fixed-1", "mobile-0", "mobile-1", "commuter", "n/0"])
+wire_text = st.one_of(st.text(max_size=12),
+                      st.sampled_from(sorted(wire_key_table())))
+scalars = st.one_of(st.none(), st.booleans(),
+                    st.integers(-(2 ** 40), 2 ** 40),
+                    st.floats(allow_nan=False), wire_text,
+                    st.binary(max_size=24))
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(wire_text, children, max_size=4),
+    ),
+    max_leaves=12,
+)
+header_stacks = st.lists(st.one_of(
+    wire_text,
+    st.tuples(wire_text, st.integers(0, 999)),
+    st.dictionaries(wire_text, st.integers(), max_size=3),
+), max_size=4)
+
+
+@st.composite
+def packets(draw):
+    src = draw(node_ids)
+    multicast = draw(st.booleans())
+    dst = (tuple(draw(st.lists(node_ids, min_size=1, max_size=3,
+                               unique=True)))
+           if multicast else draw(node_ids))
+    message = Message(payload=draw(payloads), headers=draw(header_stacks))
+    return Packet(
+        src=src, dst=dst, port=draw(wire_text.filter(bool)),
+        event_cls=draw(st.sampled_from(EVENT_CLASSES)), message=message,
+        logical_src=draw(st.one_of(st.none(), node_ids)),
+        traffic_class=draw(st.sampled_from([DATA, CONTROL])))
+
+
+def _reference_packet() -> Packet:
+    """A fixed non-trivial frame for the deterministic corruption tests."""
+    message = Message(payload={"seqno": 7, "text": "hello"},
+                      headers=[("rel", 7), "membership"])
+    return Packet(src="fixed-0", dst=("fixed-1", "mobile-0"), port="data#c1",
+                  event_cls=ApplicationMessage, message=message,
+                  logical_src="commuter", traffic_class=DATA)
+
+
+# -- round-trips --------------------------------------------------------------
+
+class TestRoundTrip:
+    @given(packet=packets())
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_packets_round_trip(self, packet):
+        back = decode_frame(encode_frame(packet))
+        assert back.src == packet.src
+        assert back.dst == packet.dst
+        assert back.port == packet.port
+        assert back.event_cls is packet.event_cls
+        assert back.logical_src == packet.logical_src
+        assert back.traffic_class == packet.traffic_class
+        assert back.message == packet.message
+        assert back.message.headers == packet.message.headers
+
+    @given(packet=packets())
+    @settings(max_examples=100, deadline=None)
+    def test_byte_charges_travel_verbatim(self, packet):
+        """Counters on the receiver reproduce the sender's accounting."""
+        back = decode_frame(encode_frame(packet))
+        assert back.size_bytes == packet.size_bytes
+        assert back.wire_bytes == packet.wire_bytes
+
+    def test_multicast_siblings_share_one_frame_shape(self):
+        packet = _reference_packet()
+        clone = packet.copy_for("fixed-1")
+        back = decode_frame(encode_frame(clone))
+        assert back.dst == "fixed-1"
+        assert back.size_bytes == packet.size_bytes
+
+
+# -- embedded class references (codec tag 0x10) -------------------------------
+
+class TestClassReferences:
+    def test_event_class_round_trips_to_identity(self):
+        blob, charge = encode_payload(RetransmissionMessage)
+        assert decode_payload(blob) is RetransmissionMessage
+        assert charge == estimate_size(RetransmissionMessage)
+
+    def test_class_inside_mapping_round_trips(self):
+        """The retransmission-store shape that first hit the live wire."""
+        snapshot = {"cls": ApplicationMessage, "seqno": 42}
+        blob, _ = encode_payload(snapshot)
+        back = decode_payload(blob)
+        assert back["cls"] is ApplicationMessage
+        assert back["seqno"] == 42
+
+    def test_non_event_class_is_rejected(self):
+        with pytest.raises(CodecError):
+            encode_payload(dict)
+
+    def test_unknown_class_name_is_rejected(self):
+        with pytest.raises(CodecError):
+            resolve_event_class("NoSuchEventClass")
+
+
+# -- adversarial inputs -------------------------------------------------------
+
+def _assert_only_codec_error(data: bytes) -> None:
+    try:
+        decode_frame(data)
+    except CodecError:
+        pass
+
+
+class TestMalformedFrames:
+    def test_every_truncation_raises_codec_error(self):
+        frame = encode_frame(_reference_packet())
+        for cut in range(len(frame)):
+            with pytest.raises(CodecError):
+                decode_frame(frame[:cut])
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_frame(_reference_packet()))
+        frame[0] ^= 0xFF
+        with pytest.raises(CodecError):
+            decode_frame(bytes(frame))
+
+    def test_unknown_version(self):
+        frame = bytearray(encode_frame(_reference_packet()))
+        frame[1] = FRAME_VERSION + 1
+        with pytest.raises(CodecError):
+            decode_frame(bytes(frame))
+
+    def test_oversized_datagram_rejected_on_decode(self):
+        with pytest.raises(CodecError):
+            decode_frame(bytes([FRAME_MAGIC, FRAME_VERSION]) +
+                         b"\x00" * MAX_DATAGRAM_BYTES)
+
+    def test_oversized_payload_rejected_on_encode(self):
+        packet = Packet(src="a", dst="b", port="data",
+                        event_cls=ApplicationMessage,
+                        message=Message(payload=b"x" * (MAX_DATAGRAM_BYTES)))
+        with pytest.raises(CodecError):
+            encode_frame(packet)
+
+    def test_unknown_event_class_name(self):
+        """A structurally valid frame naming a class we never deployed."""
+        packet = _reference_packet()
+        meta = (packet.src, packet.logical_src, packet.port,
+                "NoSuchEventClass", packet.dst, packet.traffic_class,
+                packet.size_bytes, packet.wire_bytes)
+        meta_blob, _ = encode_payload(meta)
+        body_blob, _ = encode_payload(packet.message)
+        out = bytearray((FRAME_MAGIC, FRAME_VERSION))
+        codec._append_varint(out, len(meta_blob))
+        out += meta_blob + body_blob
+        with pytest.raises(CodecError):
+            decode_frame(bytes(out))
+
+    def test_wrong_meta_shape(self):
+        meta_blob, _ = encode_payload(("just", "three", "fields"))
+        body_blob, _ = encode_payload(Message(payload=b""))
+        out = bytearray((FRAME_MAGIC, FRAME_VERSION))
+        codec._append_varint(out, len(meta_blob))
+        out += meta_blob + body_blob
+        with pytest.raises(CodecError):
+            decode_frame(bytes(out))
+
+    def test_body_must_be_a_message(self):
+        packet = _reference_packet()
+        meta = (packet.src, packet.logical_src, packet.port,
+                packet.event_cls.__name__, packet.dst, packet.traffic_class,
+                packet.size_bytes, packet.wire_bytes)
+        meta_blob, _ = encode_payload(meta)
+        body_blob, _ = encode_payload({"not": "a message"})
+        out = bytearray((FRAME_MAGIC, FRAME_VERSION))
+        codec._append_varint(out, len(meta_blob))
+        out += meta_blob + body_blob
+        with pytest.raises(CodecError):
+            decode_frame(bytes(out))
+
+    @given(data=st.binary(max_size=256))
+    @settings(max_examples=300, deadline=None)
+    def test_garbage_never_raises_anything_but_codec_error(self, data):
+        _assert_only_codec_error(data)
+
+    @given(position=st.integers(min_value=0),
+           flip=st.integers(min_value=1, max_value=255))
+    @settings(max_examples=300, deadline=None)
+    def test_single_byte_corruption_is_contained(self, position, flip):
+        """Flip one byte anywhere in a valid frame: decode either still
+        succeeds (the flip hit redundant slack such as an unused varint
+        range) or raises CodecError — never any other exception."""
+        frame = bytearray(encode_frame(_reference_packet()))
+        frame[position % len(frame)] ^= flip
+        _assert_only_codec_error(bytes(frame))

@@ -13,6 +13,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.kernel import codec
 from repro.scenarios.fuzz import ALWAYS_ON, fuzz_oracle
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.shrink import load_corpus_file
@@ -49,3 +50,21 @@ class TestCorpusReplay:
                               engine_factory=HeapSimEngine,
                               invariants=ALWAYS_ON).run()
         assert wheel == heap
+
+    def test_reproducer_replays_under_codec_parity(self, path):
+        """The whole corpus again with every wire encode cross-checked:
+        parity mode asserts each codec charge equals the legacy
+        ``estimate_size`` and each blob decodes back equal (the
+        ``REPRO_CODEC_PARITY=1`` contract the live transport's framing
+        depends on), and the run must stay bit-identical to normal mode."""
+        entry = load_corpus_file(str(path))
+        scenario, seed = entry["scenario_obj"], entry["run_seed"]
+        codec.set_parity(True)
+        try:
+            checked = ScenarioRunner(scenario, seed=seed,
+                                     invariants=ALWAYS_ON).run()
+        finally:
+            codec.set_parity(False)
+        plain = ScenarioRunner(scenario, seed=seed,
+                               invariants=ALWAYS_ON).run()
+        assert checked == plain  # parity mode observes, never perturbs
