@@ -1,0 +1,166 @@
+"""Federation benchmark: per-cell flush cost vs. flat-group flush cost.
+
+The reason cells exist at all: a view-synchronous flush touches every
+member, so reconfiguration cost in a flat group grows with total
+membership, while a federated room only flushes the one cell the change
+lands in — per-cell cost stays flat no matter how large the room gets.
+
+The measurement isolates exactly that. For each configuration the same
+scenario runs twice with the same seed: once quiescent, once with a
+single mobile joiner admitted mid-run.  The packet/event delta between
+the two runs is the marginal cost of one full reconfiguration (join
+solicitation, flush round, view install, backlog service) with the
+steady-state traffic (heartbeats, gossip ring) subtracted out:
+
+* **flat sweep** — one flat group at 25/50/100 members: the delta grows
+  with group size (every member participates in the flush);
+* **federated** — a 200-member room as 8 cells of 25: the delta stays at
+  the flat-25 level because only the admitting cell flushes.
+
+Usage::
+
+    python benchmarks/bench_federation.py            # full sweep
+    python benchmarks/bench_federation.py --smoke    # CI smoke (seconds)
+    python benchmarks/bench_federation.py --out results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.scenario import NodeSpec, Scenario
+
+#: (members, cells) rows; cells=0 is the flat stack.
+FULL_ROWS = ((25, 0), (50, 0), (100, 0), (200, 8))
+SMOKE_ROWS = ((10, 0), (20, 0), (40, 4))
+
+
+def reconfig_scenario(members: int, *, cells: int = 0, join: bool = True,
+                      duration_s: float = 30.0) -> Scenario:
+    """``members`` fixed nodes at steady state; optionally one mobile
+    joiner admitted at t=12 (the reconfiguration under measurement)."""
+    nodes = tuple(NodeSpec(f"n{index:03d}", "fixed")
+                  for index in range(members))
+    if join:
+        nodes += (NodeSpec("joiner", "mobile", join_at=12.0),)
+    return Scenario(
+        name=f"reconfig_{members}_{cells or 'flat'}",
+        duration_s=duration_s,
+        nodes=nodes,
+        cells=cells,
+        backlog_n=4 if cells else 0,
+        heartbeat_interval=2.0,
+    )
+
+
+def measure(members: int, cells: int, *, duration_s: float,
+            seed: int = 21) -> dict:
+    quiet = run_scenario(
+        reconfig_scenario(members, cells=cells, join=False,
+                          duration_s=duration_s), seed=seed)
+    start = time.perf_counter()
+    joined = run_scenario(
+        reconfig_scenario(members, cells=cells, join=True,
+                          duration_s=duration_s), seed=seed)
+    wall = time.perf_counter() - start
+    # The joiner must actually have been admitted, or the delta is noise.
+    member_views = [view for node, view in joined.control_views.items()
+                    if "joiner" in view]
+    assert member_views, "joiner was never admitted — nothing was measured"
+    flush_cell = cells and len(member_views[0]) or members + 1
+    return {
+        "members": members,
+        "cells": cells,
+        "flush_group_size": flush_cell,
+        "join_delta_packets": joined.delivered_packets
+        - quiet.delivered_packets,
+        "join_delta_events": joined.engine_events - quiet.engine_events,
+        "wall_s": round(wall, 3),
+        "total_packets": joined.delivered_packets,
+    }
+
+
+def bench_flush(rows, *, duration_s: float) -> list[dict]:
+    out = []
+    for members, cells in rows:
+        row = measure(members, cells, duration_s=duration_s)
+        out.append(row)
+        label = f"{cells} cells" if cells else "flat"
+        print(f"  n={members:4d} ({label:8s}): "
+              f"flush group {row['flush_group_size']:4d}, "
+              f"join delta {row['join_delta_packets']:6d} packets, "
+              f"{row['wall_s']:6.2f}s wall", file=sys.stderr)
+    return out
+
+
+def flatness(rows: list[dict]) -> dict:
+    """The headline: the federated room's join delta vs. the flat sweep.
+
+    ``fed_vs_smallest_flat`` near 1.0 (and well under
+    ``largest_flat_vs_smallest_flat``) demonstrates per-cell flush cost
+    flat in total membership.
+    """
+    flat = sorted((r for r in rows if not r["cells"]),
+                  key=lambda r: r["members"])
+    fed = [r for r in rows if r["cells"]]
+    if not flat or not fed:
+        return {}
+    smallest, largest = flat[0], flat[-1]
+    ratio = fed[0]["join_delta_packets"] / \
+        max(1, smallest["join_delta_packets"])
+    growth = largest["join_delta_packets"] / \
+        max(1, smallest["join_delta_packets"])
+    return {
+        "fed_members": fed[0]["members"],
+        "fed_flush_group_size": fed[0]["flush_group_size"],
+        "fed_vs_smallest_flat": round(ratio, 2),
+        "largest_flat_vs_smallest_flat": round(growth, 2),
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI (a few seconds)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds per run")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON report to this file")
+    args = parser.parse_args(argv)
+
+    rows = SMOKE_ROWS if args.smoke else FULL_ROWS
+    duration = args.duration or (25.0 if args.smoke else 30.0)
+
+    report: dict = {"mode": "smoke" if args.smoke else "full",
+                    "duration_s": duration}
+    print(f"join-flush delta sweep over {rows}", file=sys.stderr)
+    report["flush"] = bench_flush(rows, duration_s=duration)
+    report["flatness"] = flatness(report["flush"])
+
+    # The claim CI guards: a join into the federated room must not cost
+    # like a flat group of the same total size.  The federated delta is
+    # allowed the admitting cell's share plus generous slack, but must
+    # stay well under the trend the flat sweep extrapolates to.
+    flat = sorted((r for r in report["flush"] if not r["cells"]),
+                  key=lambda r: r["members"])
+    fed = [r for r in report["flush"] if r["cells"]]
+    if flat and fed:
+        assert fed[0]["join_delta_packets"] < \
+            2 * flat[-1]["join_delta_packets"], \
+            "federated join flush costs like a flat group — cells buy nothing"
+
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return report
+
+
+if __name__ == "__main__":
+    main()

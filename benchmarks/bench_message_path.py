@@ -4,7 +4,7 @@ Measures the three quantities the copy-on-write refactor targets:
 
 * **micro** — the cost of one :meth:`Message.copy` and the retained
   allocations behind a multicast fan-out (one
-  :meth:`~repro.simnet.packet.Packet.copy_for` per receiver), plus the
+  :meth:`~repro.kernel.packet.Packet.copy_for` per receiver), plus the
   cost of the ``size_bytes`` accounting;
 * **churn** — wall-clock and engine-events/second of a churn-storm
   scenario swept over group sizes (10–100 nodes), the workload the
@@ -33,7 +33,7 @@ import time
 from typing import Optional
 
 from repro.kernel.message import Message
-from repro.simnet.packet import Packet
+from repro.kernel.packet import Packet
 from repro.kernel.events import SendableEvent
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.scenario import (ChatBurst, Crash, Leave, NodeSpec,

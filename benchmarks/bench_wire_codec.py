@@ -35,7 +35,7 @@ from repro.kernel.events import SendableEvent
 from repro.kernel.message import Message, estimate_size
 from repro.scenarios.library import canned
 from repro.scenarios.runner import run_scenario
-from repro.simnet.packet import Packet
+from repro.kernel.packet import Packet
 
 SMOKE_SCENARIOS = ("commuter_handoff",)
 FULL_SCENARIOS = ("commuter_handoff", "flash_crowd_join", "churn_storm",

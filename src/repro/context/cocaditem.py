@@ -20,6 +20,7 @@ from typing import Any, Optional
 from repro.context.model import ContextSnapshot
 from repro.context.pubsub import TopicBus
 from repro.context.retrievers import ContextRetriever, default_retrievers
+from repro.kernel.channel import ChannelState
 from repro.kernel.events import Direction, Event, TimerEvent
 from repro.kernel.layer import Layer
 from repro.kernel.registry import register_layer
@@ -84,9 +85,13 @@ class CocaditemSession(GroupSession):
 
         Called by the Morpheus facade when the network topology mutates
         under this node — the paper's periodic dissemination remains the
-        baseline, this is the scenario subsystem's fast path.
+        baseline, this is the scenario subsystem's fast path.  A shut-down
+        control channel (federation cell re-formation) is skipped: the
+        trigger may fire one virtual instant after the node's stack was
+        replaced.
         """
-        if self._channel is not None:
+        if self._channel is not None and \
+                self._channel.state is ChannelState.STARTED:
             self._collect_and_publish(self._channel)
 
     def on_event(self, event: Event) -> None:

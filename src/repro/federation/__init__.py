@@ -1,0 +1,33 @@
+"""Federated multi-group architecture (ROADMAP direction 3).
+
+A single view-synchronous group cannot reach millions of members — flush
+cost grows with view size.  The federation layer shards a room across
+many small view-synchronous **cell** groups (each the unchanged paper
+stack) and bridges them with the gossip layer: every cell elects a
+**gateway** through the same context-driven rules that pick mecho
+relays, the gateways form a gossip ring, and a :class:`FederationRouter`
+forwards room traffic cell → gateway → gateway → cell with dedup by
+``(origin_cell, sender, seq)``.
+
+Cells are dynamic: a flash crowd that pushes a cell past
+``cell_size_max`` splits it, shrinkage below ``cell_size_min`` merges it
+away — both governed by the same budget/flap-damping machinery as stack
+reconfiguration, so cell churn cannot flap.
+
+The 1-cell federation is asserted byte-identical to the flat
+single-group stack (the equivalence gate in tier-1).
+"""
+
+from repro.federation.cell import CellDirectory, CellGovernor
+from repro.federation.gateway import GatewayElector, NetworkContextDirectory
+from repro.federation.library import (FEDERATED_CANNED, day_night_migration,
+                                      federated_canned, flash_crowd_split)
+from repro.federation.router import FederationRouter, bridge_template
+from repro.federation.runner import FederationRunner
+
+__all__ = [
+    "CellDirectory", "CellGovernor", "FederationRouter", "FederationRunner",
+    "GatewayElector", "NetworkContextDirectory", "bridge_template",
+    "FEDERATED_CANNED", "federated_canned", "flash_crowd_split",
+    "day_night_migration",
+]

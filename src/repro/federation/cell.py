@@ -1,0 +1,156 @@
+"""Cell bookkeeping: rosters, split/merge planning, churn governance.
+
+A **cell** is one view-synchronous group of the federation.  The
+directory tracks which nodes belong to which cell; split and merge are
+planned here as pure roster arithmetic (the runner executes them as
+group re-formations).  Cell identifiers are *instance* names: every
+re-formation mints a fresh ``cell-N``, so the scoped channel names of a
+retired cell can never collide with its successors' — in-flight packets
+of the old group die at unbound transport ports, the same isolation the
+flat stack gets from generation-named data channels.
+
+:class:`CellGovernor` applies the damping discipline of
+:mod:`repro.kernel.damping` to cell churn: a global reconfiguration
+budget (so a join storm cannot thrash the whole federation) plus
+per-node flap damping (so one oscillating roster cannot split/merge
+itself in a loop).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.damping import FlapDamper, WindowBudget
+
+
+class CellDirectory:
+    """Mutable cell → roster mapping with deterministic planning."""
+
+    def __init__(self) -> None:
+        self._cells: dict[str, set[str]] = {}
+        self._cell_of: dict[str, str] = {}
+        self._counter = 0
+
+    # -- naming ----------------------------------------------------------------
+
+    def mint(self) -> str:
+        """A fresh, never-reused cell instance name."""
+        name = f"cell-{self._counter}"
+        self._counter += 1
+        return name
+
+    # -- membership ------------------------------------------------------------
+
+    def cells(self) -> tuple[str, ...]:
+        return tuple(sorted(self._cells))
+
+    def members_of(self, cell: str) -> tuple[str, ...]:
+        return tuple(sorted(self._cells.get(cell, ())))
+
+    def cell_of(self, node_id: str) -> Optional[str]:
+        return self._cell_of.get(node_id)
+
+    def assign(self, node_id: str, cell: str) -> None:
+        previous = self._cell_of.get(node_id)
+        if previous is not None:
+            self._discard(node_id, previous)
+        self._cells.setdefault(cell, set()).add(node_id)
+        self._cell_of[node_id] = cell
+
+    def remove(self, node_id: str) -> None:
+        cell = self._cell_of.pop(node_id, None)
+        if cell is not None:
+            self._discard(node_id, cell)
+
+    def retire(self, cell: str) -> tuple[str, ...]:
+        """Drop ``cell`` entirely; returns its final roster."""
+        members = self.members_of(cell)
+        for node_id in members:
+            self._cell_of.pop(node_id, None)
+        self._cells.pop(cell, None)
+        return members
+
+    def _discard(self, node_id: str, cell: str) -> None:
+        roster = self._cells.get(cell)
+        if roster is not None:
+            roster.discard(node_id)
+            if not roster:
+                del self._cells[cell]
+
+    # -- planning --------------------------------------------------------------
+
+    def largest_cell(self) -> Optional[str]:
+        """Cell with the most members (ties: lowest name)."""
+        if not self._cells:
+            return None
+        return sorted(self._cells,
+                      key=lambda c: (-len(self._cells[c]), c))[0]
+
+    def smallest_cell(self, excluding: str = "") -> Optional[str]:
+        """Cell with the fewest members (ties: lowest name)."""
+        candidates = [c for c in self._cells if c != excluding]
+        if not candidates:
+            return None
+        return sorted(candidates,
+                      key=lambda c: (len(self._cells[c]), c))[0]
+
+    @staticmethod
+    def plan_split(members: tuple[str, ...]) \
+            -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Deterministic halving: contiguous chunks of the sorted roster."""
+        ordered = tuple(sorted(members))
+        middle = (len(ordered) + 1) // 2
+        return ordered[:middle], ordered[middle:]
+
+
+class CellGovernor:
+    """Damped admission control for cell splits and merges.
+
+    ``budget``/``window``/``cooldown`` bound federation-wide cell
+    reconfigurations per sliding window (0 = unlimited); ``flap_limit``
+    counts how often any single *node* may change cells within
+    ``flap_window`` before its cell's reshapes are held down for
+    ``flap_cooldown`` — the signature of a roster oscillating around a
+    threshold.
+    """
+
+    def __init__(self, *, budget: int = 4, window: float = 60.0,
+                 cooldown: float = 30.0, flap_limit: int = 3,
+                 flap_window: float = 60.0,
+                 flap_cooldown: float = 120.0) -> None:
+        self._budget = WindowBudget(budget, window, cooldown)
+        self._flap_limit = flap_limit
+        self._flap_window = flap_window
+        self._flap_cooldown = flap_cooldown
+        self._dampers: dict[str, FlapDamper] = {}
+        #: Reshapes admitted / refused (diagnostics).
+        self.admitted = 0
+        self.refused = 0
+
+    def _damper_of(self, node_id: str) -> FlapDamper:
+        damper = self._dampers.get(node_id)
+        if damper is None:
+            damper = FlapDamper(self._flap_limit, self._flap_window,
+                                self._flap_cooldown)
+            self._dampers[node_id] = damper
+        return damper
+
+    def admit_reshape(self, movers: dict[str, str], now: float) -> bool:
+        """May a reshape moving ``movers`` (node → new cell) run at ``now``?
+
+        Refused when the global budget is exhausted or any mover is
+        currently flap-damped.  An admitted reshape charges the budget
+        and records each mover's new cell assignment with its damper —
+        every reshape mints fresh cell names, so each move is a flip and
+        a node bouncing between rosters trips its damper.
+        """
+        if any(self._damper_of(node).frozen(now) for node in movers):
+            self.refused += 1
+            return False
+        if not self._budget.admit(now):
+            self.refused += 1
+            return False
+        for node, cell in movers.items():
+            self._damper_of(node).observe(cell, now)
+        self.admitted += 1
+        return True

@@ -1,0 +1,144 @@
+"""Cell-gateway election: mecho's relay rules applied to the federation.
+
+Every cell elects one **gateway** — the member that joins the inter-cell
+gossip ring and forwards room traffic in and out of its cell.  The
+question "who should carry the cross-segment traffic?" is exactly the
+one mecho answers when it picks a relay, so the election reuses the
+relay selectors of :mod:`repro.core.rules.plan` verbatim
+(``lowest_id`` / ``best_battery``) instead of inventing a parallel
+mechanism: fixed, mains-powered members are preferred, battery state
+breaks ties under the energy-aware selector, identifiers break the rest
+deterministically.
+
+The selectors read a :class:`~repro.core.rules.plan.ContextDirectory`;
+the federation runner sits outside any one node's Cocaditem bus, so
+:class:`NetworkContextDirectory` adapts the live simulated network into
+the directory *query* interface the selectors consume — the same
+attribute names and value encodings the context retrievers publish.
+
+Gateway choice is flap-damped per cell: a battery discharging past
+another member's level would otherwise re-elect (and force a gossip-ring
+handover with its catch-up digests) on every evaluation tick.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.context.model import BATTERY, DEVICE_TYPE
+from repro.core.rules.plan import RELAY_SELECTORS
+from repro.kernel.damping import FlapDamper
+from repro.simnet.network import Network
+
+
+class NetworkContextDirectory:
+    """Directory *query* facade over live network state.
+
+    Implements the subset of :class:`~repro.core.rules.plan.ContextDirectory`
+    the relay selectors use (``value``), encoding attributes exactly as
+    the context retrievers do: ``device_type`` is the node-kind string,
+    ``battery`` is the remaining fraction (1.0 for mains-powered nodes).
+    """
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+
+    def value(self, node_id: str, attribute: str,
+              default: Any = None) -> Any:
+        try:
+            node = self._network.node(node_id)
+        except KeyError:
+            return default
+        if attribute == DEVICE_TYPE:
+            return node.kind.value
+        if attribute == BATTERY:
+            if node.battery is None:
+                return 1.0
+            return round(node.battery.fraction, 6)
+        return default
+
+
+class GatewayElector:
+    """Per-cell gateway choice, damped against churn.
+
+    Args:
+        directory: context source for the relay selectors.
+        selector: relay-selector name (``"lowest_id"`` /
+            ``"best_battery"``, the :data:`RELAY_SELECTORS` registry).
+        flap_limit / flap_window / flap_cooldown: per-cell
+            :class:`FlapDamper` parameters — while a cell's gateway
+            choice is damped, the previous holder is kept as long as it
+            is still a live member.
+    """
+
+    def __init__(self, directory: NetworkContextDirectory, *,
+                 selector: str = "best_battery",
+                 flap_limit: int = 3, flap_window: float = 60.0,
+                 flap_cooldown: float = 120.0) -> None:
+        if selector not in RELAY_SELECTORS:
+            raise ValueError(
+                f"unknown gateway selector {selector!r} "
+                f"(expected one of {tuple(sorted(RELAY_SELECTORS))})")
+        self._directory = directory
+        self._select = RELAY_SELECTORS[selector]
+        self._flap_limit = flap_limit
+        self._flap_window = flap_window
+        self._flap_cooldown = flap_cooldown
+        self._dampers: dict[str, FlapDamper] = {}
+        self._current: dict[str, str] = {}
+        #: Gateway handovers performed (diagnostics).
+        self.handovers = 0
+
+    def _damper_of(self, cell: str) -> FlapDamper:
+        damper = self._dampers.get(cell)
+        if damper is None:
+            damper = FlapDamper(self._flap_limit, self._flap_window,
+                                self._flap_cooldown)
+            self._dampers[cell] = damper
+        return damper
+
+    def _preferred(self, members: Sequence[str]) -> str:
+        """Raw selector outcome: fixed members first, like mecho."""
+        fixed = [m for m in members
+                 if self._directory.value(m, DEVICE_TYPE) == "fixed"]
+        candidates = fixed if fixed else list(members)
+        return self._select(self._directory, candidates)
+
+    def elect(self, cell: str, members: Sequence[str],
+              now: float) -> Optional[str]:
+        """Gateway of ``cell`` over live ``members`` at virtual ``now``.
+
+        Returns ``None`` for an empty roster.  A damped cell keeps its
+        previous gateway while that member is still present; losing the
+        gateway entirely overrides damping (a cell must stay bridged).
+        """
+        roster = tuple(sorted(members))
+        if not roster:
+            self._current.pop(cell, None)
+            return None
+        previous = self._current.get(cell)
+        preferred = self._preferred(roster)
+        choice = preferred
+        if previous in roster and preferred != previous and \
+                self._damper_of(cell).frozen(now):
+            choice = previous
+        elif previous in roster and preferred != previous:
+            # A real handover: let the damper see the flip so an
+            # oscillating context can't thrash the ring.
+            self._damper_of(cell).observe(preferred, now)
+            if self._damper_of(cell).frozen(now):
+                choice = previous
+        elif previous is None:
+            self._damper_of(cell).observe(preferred, now)
+        if choice != previous:
+            self.handovers += previous is not None
+            self._current[cell] = choice
+        return choice
+
+    def forget(self, cell: str) -> None:
+        """Drop a retired cell's election state."""
+        self._current.pop(cell, None)
+        self._dampers.pop(cell, None)
+
+    def gateway_of(self, cell: str) -> Optional[str]:
+        return self._current.get(cell)

@@ -1,0 +1,123 @@
+"""Canned multi-cell (federated) scenarios.
+
+Same contract as :mod:`repro.scenarios.library`: each builder returns a
+:class:`~repro.scenarios.scenario.Scenario` sized for interactive runs,
+keyword arguments let tests scale down and benchmarks scale up.  Both
+scenarios set ``cells > 1`` so :func:`~repro.scenarios.runner.run_scenario`
+dispatches them to the :class:`~repro.federation.runner.FederationRunner`:
+
+* :func:`flash_crowd_split` — a crowd of mobile joiners floods the
+  smallest cell past ``cell_size_max``; the governor admits a cascade of
+  splits and the federation re-bridges after each one;
+* :func:`day_night_migration` — evening leaves shrink one cell below
+  ``cell_size_min`` (merge), the dawn wave of joiners overflows the
+  merged cell (split) — one run exercises both reshape directions plus
+  backlog service and anti-entropy reconciliation.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.scenario import ChatBurst, Leave, NodeSpec, Scenario
+
+#: Governor tuning shared by both scenarios: generous enough that the
+#: scripted reshapes are admitted, tight enough that a livelocked
+#: split/merge oscillation would be refused.
+_GOVERNOR = (("budget", 6.0), ("window", 30.0), ("cooldown", 10.0),
+             ("flap_limit", 4.0))
+
+
+def flash_crowd_split(*, members: int = 36, cell_size: int = 12,
+                      messages: int = 24,
+                      duration_s: float = 150.0) -> Scenario:
+    """A flash crowd overflows the federation and forces splits.
+
+    ``members`` fixed nodes start partitioned into cells of ``cell_size``;
+    from t=20s a crowd of ``cell_size`` mobile devices joins the smallest
+    cell in quick succession, pushing it past ``cell_size_max`` — the
+    threshold sweep splits it (and any descendant that overflows again),
+    the gateways re-elect, and the room stays whole across the reshapes.
+    Two chat streams (one per federation corner) prove cross-cell
+    delivery; ``backlog_n`` gives every admitted joiner the recent room
+    history.
+    """
+    if members < cell_size or cell_size < 4:
+        raise ValueError("flash_crowd_split needs members >= cell_size >= 4")
+    residents = tuple(NodeSpec(f"n{index:03d}", "fixed")
+                      for index in range(members))
+    crowd = tuple(
+        NodeSpec(f"x{index:03d}", "mobile", join_at=20.0 + index * 1.5)
+        for index in range(cell_size))
+    return Scenario(
+        name="flash_crowd_split",
+        duration_s=duration_s,
+        nodes=residents + crowd,
+        workload=(ChatBurst(start=2.0, sender="n000", count=messages,
+                            interval=1.0, prefix="a"),
+                  ChatBurst(start=2.5, sender=f"n{members - 1:03d}",
+                            count=messages, interval=1.0, prefix="z")),
+        cells=max(1, members // cell_size),
+        cell_size_max=cell_size + 2,
+        cell_size_min=3,
+        backlog_n=8,
+        governor=_GOVERNOR,
+        heartbeat_interval=2.0,
+    )
+
+
+def day_night_migration(*, members: int = 18, messages: int = 20,
+                        duration_s: float = 180.0) -> Scenario:
+    """A day/night cycle: one cell empties at dusk, refills at dawn.
+
+    Three cells of ``members / 3``; at night four members of the first
+    cell leave one after another, shrinking it below ``cell_size_min`` —
+    the sweep merges the remnant into the smallest neighbour.  At dawn
+    eight mobile devices join, overflow the merged cell past
+    ``cell_size_max`` and force a split.  ``reconcile`` keeps the
+    anti-entropy pass on so the post-reshape views converge on one
+    history, and ``backlog_n`` serves the dawn joiners the overnight
+    room tail.
+    """
+    if members < 12 or members % 3:
+        raise ValueError(
+            "day_night_migration needs members >= 12, divisible by 3")
+    residents = tuple(NodeSpec(f"n{index:03d}", "fixed")
+                      for index in range(members))
+    dawn = tuple(
+        NodeSpec(f"d{index:03d}", "mobile", join_at=100.0 + index * 1.0)
+        for index in range(8))
+    night = tuple(Leave(40.0 + index * 2.0, node=f"n{index:03d}")
+                  for index in range(4))
+    return Scenario(
+        name="day_night_migration",
+        duration_s=duration_s,
+        nodes=residents + dawn,
+        events=night,
+        workload=(ChatBurst(start=5.0, sender=f"n{members - 1:03d}",
+                            count=messages, interval=1.0, prefix="d"),
+                  ChatBurst(start=110.0, sender=f"n{members // 2:03d}",
+                            count=messages, interval=1.0, prefix="n")),
+        cells=3,
+        cell_size_max=10,
+        cell_size_min=4,
+        backlog_n=6,
+        reconcile=True,
+        governor=_GOVERNOR,
+        heartbeat_interval=2.0,
+    )
+
+
+#: Name → builder registry of the federated canned scenarios.
+FEDERATED_CANNED = {
+    "flash_crowd_split": flash_crowd_split,
+    "day_night_migration": day_night_migration,
+}
+
+
+def federated_canned(name: str, **overrides) -> Scenario:
+    """Build a federated canned scenario by name."""
+    try:
+        builder = FEDERATED_CANNED[name]
+    except KeyError:
+        raise ValueError(f"unknown federated scenario {name!r}; "
+                         f"have {sorted(FEDERATED_CANNED)}") from None
+    return builder(**overrides)

@@ -1,0 +1,110 @@
+"""Group-scoped channel naming and the per-kernel group registry.
+
+Historically every node hosted exactly one implicit group: the control
+channel was called ``"ctrl"``, the data channel ``"data"``, and since a
+channel's name doubles as its transport port, two groups on one node
+would collide.  The federation layer needs a node to host *many* named
+groups (cells), each with its own control/data channel pair, so channel
+names are now scoped:
+
+* flat deployments keep the bare base name (``"ctrl"``, ``"data"``) —
+  ports, XML, and wire traffic are byte-identical to the single-group
+  stack;
+* a group named ``g`` scopes them to ``"ctrl@g"`` / ``"data@g"``.
+
+The :class:`GroupRegistry` records which groups a kernel currently
+hosts and which channels belong to each, so diagnostics and the
+federation runner can enumerate a node's groups without string-parsing
+channel names.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.channel import Channel
+
+#: Separator between a base channel name and its group scope.  ``"@"``
+#: cannot appear in bare channel names used by the flat stack, so scoped
+#: and unscoped names never collide.
+GROUP_SEPARATOR = "@"
+
+
+def scoped_name(base: str, group: str = "") -> str:
+    """Return the channel/port name for ``base`` within ``group``.
+
+    An empty group is the flat single-group deployment and yields the
+    bare base name unchanged (the byte-identical 1-cell contract).
+    """
+    if not group:
+        return base
+    return f"{base}{GROUP_SEPARATOR}{group}"
+
+
+def split_scoped(name: str) -> tuple[str, str]:
+    """Split a (possibly scoped) channel name into ``(base, group)``.
+
+    Data-channel *generation* names carry a ``#c<id>@<lineage>`` suffix
+    (see :mod:`repro.core.local_module`), and the lineage part reuses
+    ``"@"`` — so only an ``"@"`` appearing *before* any ``"#"`` scopes a
+    group: ``"data#c3@v1.a.0"`` is the flat group's generation 3, while
+    ``"data@cell-1#c3@v1.a.0"`` is cell-1's.  Flat names return an empty
+    group; the base of a scoped generation name is the name with the
+    group scope removed.
+    """
+    at_index = name.find(GROUP_SEPARATOR)
+    hash_index = name.find("#")
+    if at_index == -1 or (hash_index != -1 and hash_index < at_index):
+        return name, ""
+    base = name[:at_index]
+    rest = name[at_index + 1:]
+    generation = rest.find("#")
+    if generation == -1:
+        return base, rest
+    return base + rest[generation:], rest[:generation]
+
+
+class GroupRegistry:
+    """Which named groups a kernel hosts, and their channels.
+
+    Registration is driven by the channel lifecycle: the kernel registers
+    a channel under its group scope when the channel is created and drops
+    it when the channel is finalized.  The flat group is tracked under
+    the empty name.
+    """
+
+    def __init__(self) -> None:
+        self._groups: dict[str, list["Channel"]] = {}
+
+    def add(self, channel: "Channel") -> None:
+        _, group = split_scoped(channel.name)
+        members = self._groups.setdefault(group, [])
+        if channel not in members:
+            members.append(channel)
+
+    def remove(self, channel: "Channel") -> None:
+        _, group = split_scoped(channel.name)
+        members = self._groups.get(group)
+        if members is None:
+            return
+        if channel in members:
+            members.remove(channel)
+        if not members:
+            del self._groups[group]
+
+    def groups(self) -> tuple[str, ...]:
+        """Names of groups with at least one registered channel."""
+        return tuple(sorted(self._groups))
+
+    def channels_of(self, group: str) -> tuple["Channel", ...]:
+        """Channels registered under ``group`` (empty string = flat)."""
+        return tuple(self._groups.get(group, ()))
+
+    def find(self, base: str, group: str = "") -> Optional["Channel"]:
+        """Return the channel whose name is ``scoped_name(base, group)``."""
+        wanted = scoped_name(base, group)
+        for channel in self._groups.get(group, ()):
+            if channel.name == wanted:
+                return channel
+        return None

@@ -352,7 +352,7 @@ class Message:
         and battery models); this is the measurement of what the compact
         encoding saves.  Only meaningful on a wire copy (frozen payload):
         unfrozen handles and exotic legacy-snapshot payloads fall back to
-        ``size_bytes``.  Not cached — :class:`~repro.simnet.packet.Packet`
+        ``size_bytes``.  Not cached — :class:`~repro.kernel.packet.Packet`
         computes it once per transmission and fans it out.
         """
         payload = self._payload

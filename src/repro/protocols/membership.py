@@ -348,9 +348,14 @@ class MembershipSession(GroupSession):
 
     def _solicit_join(self, channel) -> None:
         """Unicast ``join_req`` to every bootstrap peer (whichever of them
-        is the acting coordinator will drive the admission)."""
+        is the acting coordinator will drive the admission).  A member
+        soliciting *re*-admission after installing its own exclusion view
+        asks that view's members instead — they are the live group."""
         assert self.local is not None
-        for member in self.members:
+        peers = self.members
+        if self.view is not None and not self.view.includes(self.local):
+            peers = self.view.members
+        for member in peers:
             if member == self.local:
                 continue
             self._send_join_req(member, channel)
@@ -389,7 +394,8 @@ class MembershipSession(GroupSession):
 
     def _retry_tick(self, channel) -> None:
         """Re-announce the current coordinator phase and member ack."""
-        if self.joining and self.view is None:
+        if self.joining and (self.view is None or
+                             not self.view.includes(self.local)):
             self._solicit_join(channel)
             return
         if self._announce_ticks > 0 and \
@@ -724,9 +730,28 @@ class MembershipSession(GroupSession):
         member stranded on a view the group never formed).
         """
         last = self._last_install_payload
-        if last is not None and payload["new_view_id"] == last["new_view_id"] \
-                and (self._target_view is None or
-                     self._target_view.view_id != payload["new_view_id"]):
+        if last is None:
+            return False
+        if self._target_view is not None and \
+                self._target_view.view_id == payload["new_view_id"]:
+            return False  # current flush traffic, not a straggler
+        if payload["new_view_id"] == last["new_view_id"]:
+            message = self.control_message(MembershipMessage, dict(last),
+                                           dest=payload["from"],
+                                           source=self.local)
+            self.send_down(message, channel=channel)
+            return True
+        if self.view is not None and \
+                payload["new_view_id"] <= self.view.view_id and \
+                self.view.includes(payload["from"]):
+            # An ack referencing a view *older* than the one installed,
+            # from a member of the current view: that member missed one
+            # or more installations (it may be acking a divergent
+            # lineage's flush to us because *its* stale suspicion set
+            # elects us coordinator).  Replaying the installation is the
+            # only signal that can pull it forward — without it, a flush
+            # needing its ack wedges forever while both sides heartbeat
+            # contentedly.
             message = self.control_message(MembershipMessage, dict(last),
                                            dest=payload["from"],
                                            source=self.local)
@@ -1014,6 +1039,18 @@ class MembershipSession(GroupSession):
             self.joining = False
         self.banned.update(departed)
         self.banned.difference_update(view.members)
+        if self.local is not None and not view.includes(self.local) and \
+                self.local not in self.banned:
+            # The group cut this node out on suspicion (a false positive:
+            # we are alive enough to receive the install).  Installing the
+            # exclusion view alone would deadlock both sides forever if
+            # the group's readmission install is then lost — the group
+            # believes we are back (so never probes), we believe the
+            # shrunken view (so never ask).  Re-enter joiner mode and keep
+            # soliciting the surviving members until an install that
+            # includes us lands.
+            self.joining = True
+            self._arm_retry(channel)
         self.pending_joiners -= set(view.members) | self.banned
         self._deliberate_excludes -= set(view.members)
         if joiners:
@@ -1089,7 +1126,7 @@ class MembershipSession(GroupSession):
             # More changes queued up during the flush: change again.
             self._start_flush(hold=False, channel=channel)
         elif not (self.suspected or self.pending_leavers or
-                  self._announce_ticks > 0):
+                  self._announce_ticks > 0 or self.joining):
             self._stop_retry()
 
     def _release_quiescence(self, view: View, channel) -> None:

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.core.morpheus import MorpheusNode
+from repro.kernel.group import scoped_name
 from repro.simnet.energy import Battery
 from repro.core.rules import (PolicyEngine, build_rule, governor_from_params)
 from repro.core.policy import (HybridMechoPolicy, LossAdaptivePolicy, Policy,
@@ -99,6 +100,10 @@ class ScenarioResult:
     control_views: dict[str, tuple[str, ...]] = field(default_factory=dict)
     #: Final deployed configuration name per surviving node.
     deployed: dict[str, str] = field(default_factory=dict)
+    #: Federation: final cell rosters (empty for flat single-group runs).
+    cells: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Federation: final gateway per cell.
+    gateways: dict[str, str] = field(default_factory=dict)
     delivered_packets: int = 0
     lost_packets: int = 0
     engine_events: int = 0
@@ -190,13 +195,18 @@ class ScenarioRunner:
                               loss=loss)
         return LinkParams(latency_s=0.002, bandwidth_bps=11e6, loss=loss)
 
-    def _make_policy(self) -> Policy:
+    def _make_policy(self, group: str = "") -> Policy:
         options = dict(self.scenario.policy_options)
         stack_options = {
             "heartbeat_interval": self.scenario.heartbeat_interval,
             "nack_interval": self.scenario.nack_interval,
             "ordering": tuple(self.scenario.ordering),
         }
+        if group:
+            # Federation: every template a policy builds for this node
+            # keys the suite epoch by the cell's scoped data-group id.
+            stack_options["group"] = scoped_name("data", group)
+            stack_options["app_params"] = self._app_params()
         if self.scenario.rules:
             # Declarative rule set (the policy-fuzz path): resolve every
             # rule against the registry and govern the engine when the
@@ -235,22 +245,39 @@ class ScenarioRunner:
         kind = NodeKind.MOBILE if spec.kind == "mobile" else NodeKind.FIXED
         self.network.add_node(spec.node_id, kind, battery=battery)
 
-    def _boot_morpheus(self, node_id: str, members, joining: bool) -> None:
+    def _app_params(self) -> dict:
+        """Extra chat-layer parameters; the federation runner overrides."""
+        return {}
+
+    def _boot_morpheus(self, node_id: str, members, joining: bool,
+                       group: str = "",
+                       adopt: Optional[dict] = None) -> MorpheusNode:
         scenario = self.scenario
         node = MorpheusNode(
             self.network, node_id, members,
-            policy=self._make_policy(),
+            policy=self._make_policy(group=group),
             ordering=tuple(scenario.ordering),
             publish_interval=scenario.publish_interval,
             evaluate_interval=scenario.evaluate_interval,
             heartbeat_interval=scenario.heartbeat_interval,
             nack_interval=scenario.nack_interval,
-            joining=joining)
+            joining=joining,
+            group=group,
+            app_params=self._app_params() if group else None)
+        if adopt is not None:
+            # Cell re-formation: the node keeps its delivered history and
+            # federation sequence numbering across the group change.
+            node.chat.adopt(adopt)
         self.morpheus[node_id] = node
-        self._stack_history[node_id] = [
-            (self.engine.now(), tuple(node.current_stack()))]
+        history = self._stack_history.setdefault(node_id, [])
+        history.append((self.engine.now(), tuple(node.current_stack())))
         node.core.on_reconfigured = \
             lambda name, n=node_id: self._on_reconfigured(n, name)
+        self._after_boot(node)
+        return node
+
+    def _after_boot(self, node: MorpheusNode) -> None:
+        """Subclass hook after a node instance boots (federation glue)."""
 
     # -- live hooks ----------------------------------------------------------
 
@@ -429,5 +456,11 @@ def run_scenario(scenario: Scenario, seed: int = 0,
     if backend != "sim":
         raise ValueError(f"unknown backend {backend!r}; "
                          "expected 'sim' or 'live'")
+    if scenario.cells > 0:
+        from repro.federation.runner import FederationRunner
+        return FederationRunner(scenario, seed=seed,
+                                engine_factory=engine_factory,
+                                invariants=invariants,
+                                batched=batched).run()
     return ScenarioRunner(scenario, seed=seed, engine_factory=engine_factory,
                           invariants=invariants, batched=batched).run()

@@ -14,7 +14,7 @@ from repro.simnet.loss import (BernoulliLoss, GilbertElliottLoss, LossModel,
 from repro.simnet.network import (LinkParams, Network, TopologyChange,
                                   default_wired, default_wireless)
 from repro.simnet.node import NodeKind, SimNode
-from repro.simnet.packet import (CONTROL, DATA, PACKET_OVERHEAD_BYTES, Packet)
+from repro.kernel.packet import (CONTROL, DATA, PACKET_OVERHEAD_BYTES, Packet)
 from repro.simnet.stats import NodeStats, aggregate
 from repro.simnet.trace import PacketTrace, TraceEntry
 from repro.simnet.transport import SimTransportLayer, SimTransportSession

@@ -43,7 +43,7 @@ from repro.simnet.engine import SLOT_WIDTH_S, ScheduledCall, SimEngine
 _INV_SLOT_WIDTH = 1.0 / SLOT_WIDTH_S
 from repro.simnet.loss import LossModel, NoLoss
 from repro.simnet.node import NodeKind, SimNode
-from repro.simnet.packet import Packet
+from repro.kernel.packet import Packet
 from repro.simnet.stats import NodeStats, aggregate
 
 
@@ -282,6 +282,11 @@ class Network:
         """Remove any partition."""
         self._partitions = None
         self._notify("heal", None)
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether packets from ``src`` can currently reach ``dst``
+        (partition topology only — loss and crash are separate)."""
+        return self._reachable(src, dst)
 
     def _reachable(self, src: str, dst: str) -> bool:
         if self._partitions is None:

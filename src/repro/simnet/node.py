@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.kernel.scheduler import Kernel
 from repro.simnet.energy import Battery
-from repro.simnet.packet import Packet
+from repro.kernel.packet import Packet
 from repro.simnet.stats import NodeStats
 
 if TYPE_CHECKING:  # pragma: no cover

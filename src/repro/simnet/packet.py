@@ -1,13 +1,21 @@
-"""Compatibility shim: :class:`Packet` moved to :mod:`repro.kernel.packet`.
+"""Deprecated compatibility shim: :class:`Packet` moved to
+:mod:`repro.kernel.packet`.
 
 The packet type is transport-neutral (the asyncio UDP backend of
 :mod:`repro.livenet` serializes the same record the simulator schedules),
 so it lives with the kernel now.  Everything historically importable from
-here re-exports unchanged.
+here re-exports unchanged, but importing this module raises a
+:class:`DeprecationWarning` — update imports to ``repro.kernel.packet``.
 """
+
+import warnings
 
 from repro.kernel.packet import (CONTROL, DATA, PACKET_OVERHEAD_BYTES,
                                  SRC_FIELD_OVERHEAD, Packet)
+
+warnings.warn(
+    "repro.simnet.packet is deprecated; import from repro.kernel.packet",
+    DeprecationWarning, stacklevel=2)
 
 __all__ = ["CONTROL", "DATA", "PACKET_OVERHEAD_BYTES",
            "SRC_FIELD_OVERHEAD", "Packet"]

@@ -22,7 +22,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.simnet.packet import CONTROL, DATA, Packet
+from repro.kernel.packet import CONTROL, DATA, Packet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.network import Network

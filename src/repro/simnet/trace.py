@@ -14,7 +14,7 @@ from typing import Optional
 
 from repro.simnet.network import Network
 from repro.simnet.node import SimNode
-from repro.simnet.packet import Packet
+from repro.kernel.packet import Packet
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,264 @@
+"""Unit tests for the federation building blocks.
+
+Covers the pure-state pieces the :class:`FederationRunner` composes:
+cell rosters and split planning (:class:`CellDirectory`), damped reshape
+admission (:class:`CellGovernor`), relay-rule gateway election
+(:class:`GatewayElector`) and the gossip-bridge dedup/reorder session
+(:class:`FederationRouterSession`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.context.model import BATTERY, DEVICE_TYPE
+from repro.federation.cell import CellDirectory, CellGovernor
+from repro.federation.gateway import GatewayElector
+from repro.federation.router import (FederationRouterLayer,
+                                     FederationRouterSession)
+
+pytestmark = pytest.mark.tier1
+
+
+class TestCellDirectory:
+    def test_mint_never_reuses_names(self):
+        directory = CellDirectory()
+        names = {directory.mint() for _ in range(5)}
+        assert len(names) == 5
+        assert names == {f"cell-{i}" for i in range(5)}
+
+    def test_assign_moves_between_cells(self):
+        directory = CellDirectory()
+        directory.assign("a", "cell-0")
+        directory.assign("b", "cell-0")
+        directory.assign("a", "cell-1")
+        assert directory.cell_of("a") == "cell-1"
+        assert directory.members_of("cell-0") == ("b",)
+        assert directory.members_of("cell-1") == ("a",)
+
+    def test_remove_drops_empty_cells(self):
+        directory = CellDirectory()
+        directory.assign("a", "cell-0")
+        directory.remove("a")
+        assert directory.cell_of("a") is None
+        assert directory.cells() == ()
+        directory.remove("a")  # idempotent
+
+    def test_retire_returns_final_roster(self):
+        directory = CellDirectory()
+        for node in ("c", "a", "b"):
+            directory.assign(node, "cell-0")
+        assert directory.retire("cell-0") == ("a", "b", "c")
+        assert directory.cells() == ()
+        assert directory.cell_of("a") is None
+
+    def test_largest_and_smallest_break_ties_by_name(self):
+        directory = CellDirectory()
+        for node in ("a", "b"):
+            directory.assign(node, "cell-1")
+        for node in ("c", "d"):
+            directory.assign(node, "cell-0")
+        directory.assign("e", "cell-2")
+        assert directory.largest_cell() == "cell-0"
+        assert directory.smallest_cell() == "cell-2"
+        assert directory.smallest_cell(excluding="cell-2") == "cell-0"
+
+    def test_empty_directory_has_no_planning_targets(self):
+        directory = CellDirectory()
+        assert directory.largest_cell() is None
+        assert directory.smallest_cell() is None
+
+    def test_plan_split_halves_the_sorted_roster(self):
+        half_a, half_b = CellDirectory.plan_split(("d", "b", "a", "c"))
+        assert half_a == ("a", "b")
+        assert half_b == ("c", "d")
+        # Odd rosters put the extra member in the first half.
+        half_a, half_b = CellDirectory.plan_split(("a", "b", "c"))
+        assert half_a == ("a", "b")
+        assert half_b == ("c",)
+
+
+class TestCellGovernor:
+    def test_budget_exhaustion_refuses(self):
+        governor = CellGovernor(budget=2, window=60.0, cooldown=30.0,
+                                flap_limit=0)
+        assert governor.admit_reshape({"a": "cell-1"}, now=1.0)
+        assert governor.admit_reshape({"b": "cell-2"}, now=2.0)
+        assert not governor.admit_reshape({"c": "cell-3"}, now=3.0)
+        assert (governor.admitted, governor.refused) == (2, 1)
+
+    def test_zero_budget_is_unlimited(self):
+        governor = CellGovernor(budget=0, flap_limit=0)
+        for tick in range(10):
+            assert governor.admit_reshape({"a": f"cell-{tick}"},
+                                          now=float(tick))
+        assert governor.admitted == 10
+
+    def test_flapping_node_freezes_its_reshapes(self):
+        # Every reshape mints a fresh cell name, so each admitted move is
+        # a flip for the mover's damper; the move past ``flap_limit``
+        # flips trips the freeze and the *next* reshape is refused.
+        governor = CellGovernor(budget=0, flap_limit=1, flap_window=60.0,
+                                flap_cooldown=120.0)
+        assert governor.admit_reshape({"a": "cell-1"}, now=1.0)
+        assert governor.admit_reshape({"a": "cell-2"}, now=2.0)
+        assert governor.admit_reshape({"a": "cell-3"}, now=3.0)
+        assert not governor.admit_reshape({"a": "cell-4"}, now=4.0)
+        # An untouched node is unaffected while the flapper thaws.
+        assert governor.admit_reshape({"b": "cell-4"}, now=5.0)
+        # The freeze expires after the cooldown.
+        assert governor.admit_reshape({"a": "cell-5"}, now=4.0 + 121.0)
+
+
+class _StubDirectory:
+    """Minimal ContextDirectory query facade for elector tests."""
+
+    def __init__(self, nodes: dict[str, tuple[str, float]]) -> None:
+        self._nodes = dict(nodes)
+
+    def set_battery(self, node_id: str, fraction: float) -> None:
+        kind, _ = self._nodes[node_id]
+        self._nodes[node_id] = (kind, fraction)
+
+    def value(self, node_id, attribute, default=None):
+        entry = self._nodes.get(node_id)
+        if entry is None:
+            return default
+        if attribute == DEVICE_TYPE:
+            return entry[0]
+        if attribute == BATTERY:
+            return entry[1]
+        return default
+
+
+class TestGatewayElector:
+    def test_fixed_members_preferred_over_mobile(self):
+        directory = _StubDirectory({"m1": ("mobile", 1.0),
+                                    "f1": ("fixed", 0.2)})
+        elector = GatewayElector(directory)
+        assert elector.elect("cell-0", ("m1", "f1"), now=0.0) == "f1"
+
+    def test_best_battery_breaks_ties_among_fixed(self):
+        directory = _StubDirectory({"a": ("fixed", 0.4),
+                                    "b": ("fixed", 0.9),
+                                    "c": ("fixed", 0.6)})
+        elector = GatewayElector(directory)
+        assert elector.elect("cell-0", ("a", "b", "c"), now=0.0) == "b"
+
+    def test_empty_roster_elects_nobody(self):
+        elector = GatewayElector(_StubDirectory({}))
+        assert elector.elect("cell-0", (), now=0.0) is None
+        assert elector.gateway_of("cell-0") is None
+
+    def test_unknown_selector_rejected(self):
+        with pytest.raises(ValueError):
+            GatewayElector(_StubDirectory({}), selector="psychic")
+
+    def test_damping_keeps_previous_gateway_under_oscillation(self):
+        directory = _StubDirectory({"a": ("mobile", 0.9),
+                                    "b": ("mobile", 0.8)})
+        elector = GatewayElector(directory, flap_limit=1)
+        roster = ("a", "b")
+        assert elector.elect("cell-0", roster, now=0.0) == "a"
+        # One real handover is allowed through (first flip).
+        directory.set_battery("a", 0.5)
+        assert elector.elect("cell-0", roster, now=1.0) == "b"
+        assert elector.handovers == 1
+        # The oscillation back trips the damper: previous holder kept.
+        directory.set_battery("a", 0.95)
+        assert elector.elect("cell-0", roster, now=2.0) == "b"
+        assert elector.handovers == 1
+
+    def test_losing_the_gateway_overrides_damping(self):
+        directory = _StubDirectory({"a": ("mobile", 0.9),
+                                    "b": ("mobile", 0.8),
+                                    "c": ("mobile", 0.1)})
+        elector = GatewayElector(directory, flap_limit=1)
+        roster = ("a", "b", "c")
+        assert elector.elect("cell-0", roster, now=0.0) == "a"
+        directory.set_battery("a", 0.5)
+        assert elector.elect("cell-0", roster, now=1.0) == "b"
+        directory.set_battery("a", 0.95)
+        assert elector.elect("cell-0", roster, now=2.0) == "b"
+        # The damped holder departs: a cell must stay bridged.
+        assert elector.elect("cell-0", ("a", "c"), now=3.0) == "a"
+
+    def test_forget_drops_retired_cell_state(self):
+        directory = _StubDirectory({"a": ("fixed", 1.0)})
+        elector = GatewayElector(directory)
+        elector.elect("cell-0", ("a",), now=0.0)
+        elector.forget("cell-0")
+        assert elector.gateway_of("cell-0") is None
+
+
+def _session(max_gap: int = 4) -> tuple[FederationRouterSession, list]:
+    session = FederationRouterSession(FederationRouterLayer(max_gap=max_gap))
+    delivered: list[dict] = []
+    session.on_entry = delivered.append
+    return session, delivered
+
+
+def _entry(n: int, cell: str = "cell-0", sender: str = "a") -> dict:
+    return {"cell": cell, "sender": sender, "n": n, "text": f"t{n}"}
+
+
+class TestFederationRouterSession:
+    def test_first_sighting_sets_the_stream_baseline(self):
+        session, delivered = _session()
+        session._ingest(_entry(5))
+        assert [e["n"] for e in delivered] == [5]
+        assert session.export_cursors() == {("cell-0", "a"): 6}
+
+    def test_in_order_entries_flow_through(self):
+        session, delivered = _session()
+        for n in (0, 1, 2):
+            session._ingest(_entry(n))
+        assert [e["n"] for e in delivered] == [0, 1, 2]
+        assert session.duplicates == 0
+
+    def test_duplicates_are_dropped(self):
+        session, delivered = _session()
+        session._ingest(_entry(0))
+        session._ingest(_entry(0))
+        assert [e["n"] for e in delivered] == [0]
+        assert session.duplicates == 1
+        # A held (not yet delivered) entry is a duplicate too.
+        session._ingest(_entry(3))
+        session._ingest(_entry(3))
+        assert session.duplicates == 2
+
+    def test_reordered_entries_drain_in_sequence(self):
+        session, delivered = _session()
+        session._ingest(_entry(0))
+        session._ingest(_entry(2))
+        assert [e["n"] for e in delivered] == [0]
+        session._ingest(_entry(1))
+        assert [e["n"] for e in delivered] == [0, 1, 2]
+
+    def test_streams_are_independent(self):
+        session, delivered = _session()
+        session._ingest(_entry(0, sender="a"))
+        session._ingest(_entry(7, sender="b"))
+        assert [(e["sender"], e["n"]) for e in delivered] == \
+            [("a", 0), ("b", 7)]
+
+    def test_unclosing_gap_skips_forward(self):
+        session, delivered = _session(max_gap=4)
+        session._ingest(_entry(0))
+        for n in (10, 11, 12, 13):
+            session._ingest(_entry(n))
+        assert [e["n"] for e in delivered] == [0]  # hole still open
+        session._ingest(_entry(14))  # held buffer exceeds max_gap
+        assert [e["n"] for e in delivered] == [0, 10, 11, 12, 13, 14]
+        assert session.skipped == 9  # entries 1..9 acknowledged lost
+
+    def test_adopted_cursors_only_raise(self):
+        session, delivered = _session()
+        session.adopt_cursors({("cell-0", "a"): 7})
+        session._ingest(_entry(6))
+        assert delivered == [] and session.duplicates == 1
+        session._ingest(_entry(7))
+        assert [e["n"] for e in delivered] == [7]
+        # A stale predecessor snapshot cannot move a cursor backwards.
+        session.adopt_cursors({("cell-0", "a"): 3})
+        assert session.export_cursors() == {("cell-0", "a"): 8}

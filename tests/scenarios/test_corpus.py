@@ -15,7 +15,7 @@ import pytest
 
 from repro.kernel import codec
 from repro.scenarios.fuzz import ALWAYS_ON, fuzz_oracle
-from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.runner import run_scenario
 from repro.scenarios.shrink import load_corpus_file
 from repro.simnet.engine import HeapSimEngine, SimEngine
 
@@ -43,12 +43,12 @@ class TestCorpusReplay:
     def test_engines_agree_on_reproducer(self, path):
         entry = load_corpus_file(str(path))
         scenario, seed = entry["scenario_obj"], entry["run_seed"]
-        wheel = ScenarioRunner(scenario, seed=seed,
-                               engine_factory=SimEngine,
-                               invariants=ALWAYS_ON).run()
-        heap = ScenarioRunner(scenario, seed=seed,
-                              engine_factory=HeapSimEngine,
-                              invariants=ALWAYS_ON).run()
+        wheel = run_scenario(scenario, seed=seed,
+                             engine_factory=SimEngine,
+                             invariants=ALWAYS_ON)
+        heap = run_scenario(scenario, seed=seed,
+                            engine_factory=HeapSimEngine,
+                            invariants=ALWAYS_ON)
         assert wheel == heap
 
     def test_reproducer_replays_under_codec_parity(self, path):
@@ -61,10 +61,9 @@ class TestCorpusReplay:
         scenario, seed = entry["scenario_obj"], entry["run_seed"]
         codec.set_parity(True)
         try:
-            checked = ScenarioRunner(scenario, seed=seed,
-                                     invariants=ALWAYS_ON).run()
+            checked = run_scenario(scenario, seed=seed,
+                                   invariants=ALWAYS_ON)
         finally:
             codec.set_parity(False)
-        plain = ScenarioRunner(scenario, seed=seed,
-                               invariants=ALWAYS_ON).run()
+        plain = run_scenario(scenario, seed=seed, invariants=ALWAYS_ON)
         assert checked == plain  # parity mode observes, never perturbs
