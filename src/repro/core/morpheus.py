@@ -160,6 +160,13 @@ class MorpheusNode:
     def _on_topology_change(self, change) -> None:
         if not self.node.alive:
             return
+        # News about a node across a partition line cannot reach this
+        # node's sensors — only events in the reachable component count.
+        # Network-wide changes (loss swaps, the partition itself) always
+        # trigger: they alter this node's own link conditions.
+        if change.node_id is not None and \
+                not self.network.reachable(self.node_id, change.node_id):
+            return
         self.network.engine.call_later(0.0, self.cocaditem.publish_now)
 
     # -- conveniences -----------------------------------------------------------

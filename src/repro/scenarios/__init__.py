@@ -15,7 +15,8 @@ from repro.scenarios.fuzz import (ALWAYS_ON, MIXES, FuzzConfig, FuzzOutcome,
                                   scenario_to_dict)
 from repro.scenarios.library import (CANNED, canned, churn_storm,
                                      commuter_handoff, degrading_channel_fec,
-                                     flash_crowd_join, partition_heal)
+                                     energy_rotation, flash_crowd_join,
+                                     partition_heal)
 from repro.scenarios.runner import (InvariantViolation, ScenarioResult,
                                     ScenarioRunner, build_loss_model,
                                     run_scenario)
@@ -28,7 +29,8 @@ from repro.scenarios.shrink import (ShrinkOutcome, load_corpus_file,
 
 __all__ = [
     "CANNED", "canned", "churn_storm", "commuter_handoff",
-    "degrading_channel_fec", "flash_crowd_join", "partition_heal",
+    "degrading_channel_fec", "energy_rotation", "flash_crowd_join",
+    "partition_heal",
     "InvariantViolation", "ScenarioResult", "ScenarioRunner",
     "build_loss_model", "run_scenario",
     "ChatBurst", "Crash", "Handoff", "Heal", "Leave", "LinkSpec",

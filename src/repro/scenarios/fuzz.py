@@ -29,6 +29,9 @@ The invariants (installed through the
   (:class:`~repro.simnet.engine.HeapSimEngine`) and the two
   :class:`~repro.scenarios.runner.ScenarioResult` records must compare
   equal (the timer wheel batches expiry, it must never reorder it).
+  Flat scenarios on the same sample are also replayed on the sharded
+  facade (:class:`~repro.simnet.shard.ShardedSimEngine`, two shards) —
+  single-group sharded runs must be byte-identical to sequential ones.
 
 Everything is deterministic: one ``(seed, index, mix)`` triple fully
 determines the generated scenario *and* its run seed, so a fuzz failure
@@ -38,7 +41,7 @@ reported by CI replays bit-identically on a laptop.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Optional, Sequence
 
 from repro.federation.runner import FED_ALWAYS_ON
@@ -50,6 +53,7 @@ from repro.scenarios.scenario import (ChatBurst, Crash, Handoff, Heal, Leave,
                                       ScenarioEvent, SetLoss, SplitCell,
                                       bernoulli, gilbert_elliott)
 from repro.simnet.engine import HeapSimEngine
+from repro.simnet.shard import ShardedSimEngine
 
 #: Concrete event types of the grammar, by class name (serialization).
 EVENT_TYPES = {cls.__name__: cls for cls in
@@ -235,6 +239,12 @@ def _draw_rules(rng: random.Random) -> tuple[tuple, tuple]:
                 ("hysteresis", round(rng.uniform(0.0, 0.05), 3)),
                 ("k", rng.choice((4, 8))),
                 ("m", rng.choice((1, 2))))))
+        if rng.random() < 0.25:
+            # Energy-aware draw; only acts when every member carries a
+            # battery (generate_scenario equips the nodes when this rule
+            # is drawn), otherwise it defers to the tail rule.
+            rules.append(("battery_rotation", (
+                ("hysteresis", round(rng.uniform(0.02, 0.15), 3)),)))
         rules.append(("hybrid_mecho", ()))
     governor: tuple = ()
     if rng.random() < 0.5:
@@ -298,6 +308,13 @@ def generate_scenario(seed: int, index: int, mix: str = "uniform",
     governor: tuple = ()
     if config.rules_p > 0 and rng.random() < config.rules_p:
         rules, governor = _draw_rules(rng)
+        if any(name == "battery_rotation" for name, _ in rules):
+            # The rotation rule needs battery coverage across the whole
+            # group to act; equip every node with a finite charge so the
+            # energy path is actually exercised.
+            nodes = [replace(spec,
+                             battery_mj=float(rng.randint(150, 400)))
+                     for spec in nodes]
     # Same short-circuit pattern for federation: pre-federation corpus
     # entries regenerate byte-identically under federation_p == 0.
     cells = 0
@@ -554,6 +571,21 @@ def fuzz_oracle(scenario: Scenario, run_seed: int,
         if heap != result:
             return ["engine-parity: wheel and heap engines diverged on "
                     "the same scenario"]
+        if scenario.cells == 0:
+            # Flat scenarios must be byte-identical on the sharded
+            # facade: one shard group shares the control engine's
+            # sequence stream, so even engine_events must agree.
+            # (Federated runs own their engines per cell — skip.)
+            try:
+                sharded = run_scenario(
+                    scenario, seed=run_seed,
+                    engine_factory=lambda: ShardedSimEngine(shards=2))
+            except InvariantViolation:
+                return ["sharded-parity: sharded facade diverged from "
+                        "the sequential engine"]
+            if sharded != result:
+                return ["sharded-parity: sharded facade diverged from "
+                        "the sequential engine"]
     return []
 
 

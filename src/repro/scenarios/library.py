@@ -14,7 +14,10 @@ a static topology cannot exercise:
 * :func:`churn_storm` — crashes, a recovery and a graceful leave in quick
   succession (exclusion, re-admission, departure);
 * :func:`partition_heal` — the cell is cut off from the LAN and later
-  reconnected (split views, stranger-driven merge, redeployment).
+  reconnected (split views, stranger-driven merge, redeployment);
+* :func:`energy_rotation` — an all-mobile cell on battery power rotates
+  the relay to the fullest device while members dock, crash and recover
+  (the energy-aware adaptation of §1, under churn).
 """
 
 from __future__ import annotations
@@ -163,6 +166,43 @@ def partition_heal(*, messages: int = 130, split_at: float = 20.0,
     )
 
 
+def energy_rotation(*, messages: int = 100, duration_s: float = 75.0,
+                    batteries: tuple = (260.0, 310.0, 230.0, 350.0),
+                    joiner_battery: float = 330.0) -> Scenario:
+    """An all-mobile ad hoc cell on battery power, rotating the relay.
+
+    Runs the ``rotating`` policy
+    (:class:`~repro.core.policy.ThresholdBatteryRotationPolicy`): relaying
+    costs the most energy, so the current relay's disseminated ``battery``
+    attribute sinks fastest; once it trails the fullest device by the
+    hysteresis gap the coordinator hands the relay role over — the
+    network-lifetime adaptation the paper cites from energy-aware
+    multicasting.  Churn rides along: one device docks to the wire
+    mid-run (and undocks later), another crashes and recovers, and a
+    freshly charged device joins late — each a context change the
+    rotation decision must absorb.
+    """
+    nodes = tuple(
+        NodeSpec(f"mobile-{index}", "mobile", battery_mj=float(level))
+        for index, level in enumerate(batteries))
+    joiner = NodeSpec(f"mobile-{len(batteries)}", "mobile", join_at=25.0,
+                      battery_mj=float(joiner_battery))
+    return Scenario(
+        name="energy_rotation",
+        duration_s=duration_s,
+        nodes=nodes + (joiner,),
+        events=(Handoff(20.0, node="mobile-1", to="fixed"),
+                Crash(35.0, node="mobile-2"),
+                Recover(45.0, node="mobile-2"),
+                Handoff(55.0, node="mobile-1", to="mobile")),
+        workload=(ChatBurst(start=1.0, sender="mobile-0", count=messages,
+                            interval=0.5),),
+        policy="rotating",
+        heartbeat_interval=1.0,
+        wireless=bernoulli(0.02),
+    )
+
+
 #: Name → builder registry of the canned scenarios.
 CANNED = {
     "commuter_handoff": commuter_handoff,
@@ -170,6 +210,7 @@ CANNED = {
     "degrading_channel_fec": degrading_channel_fec,
     "churn_storm": churn_storm,
     "partition_heal": partition_heal,
+    "energy_rotation": energy_rotation,
 }
 
 

@@ -45,13 +45,22 @@ from repro.scenarios.scenario import (ChatBurst, Crash, Handoff, Heal, Leave,
                                       ScenarioEvent, SetLoss)
 
 
-def build_loss_model(spec: LinkSpec, rng: random.Random) -> LossModel:
-    """Instantiate the loss model a :class:`LinkSpec` describes."""
+def build_loss_model(spec: LinkSpec, rng: random.Random,
+                     seed_base: str | None = None) -> LossModel:
+    """Instantiate the loss model a :class:`LinkSpec` describes.
+
+    ``seed_base`` enables per-sender draw streams (see
+    :mod:`repro.simnet.loss`): the simulated network spawns one stream per
+    sending node, keyed only by seed/segment/sender — deliberately *not*
+    by scenario name — so a node's loss draws are identical whether its
+    segment runs solo, combined in one engine, or on a shard.
+    """
     params = spec.as_dict()
     if spec.model == "bernoulli":
-        return BernoulliLoss(params.get("probability", 0.0), rng)
+        return BernoulliLoss(params.get("probability", 0.0), rng,
+                             seed_base=seed_base)
     if spec.model == "gilbert_elliott":
-        return GilbertElliottLoss(rng, **params)
+        return GilbertElliottLoss(rng, seed_base=seed_base, **params)
     return NoLoss()
 
 
@@ -189,7 +198,8 @@ class ScenarioRunner:
     # -- construction --------------------------------------------------------
 
     def _link(self, spec: LinkSpec, segment: str) -> LinkParams:
-        loss = build_loss_model(spec, self._rng(f"loss:{segment}"))
+        loss = build_loss_model(spec, self._rng(f"loss:{segment}"),
+                                seed_base=f"{self.seed}:{segment}")
         if segment == "wired":
             return LinkParams(latency_s=0.0005, bandwidth_bps=100e6,
                               loss=loss)
@@ -325,8 +335,9 @@ class ScenarioRunner:
                 event.depart_after,
                 lambda: self._depart(event.node))
         elif isinstance(event, SetLoss):
-            model = build_loss_model(event.link,
-                                     self._rng(f"loss-swap:{index}"))
+            model = build_loss_model(
+                event.link, self._rng(f"loss-swap:{index}"),
+                seed_base=f"{self.seed}:{event.segment}:swap{index}")
             if event.segment == "wired":
                 network.set_wired_loss(model)
             else:

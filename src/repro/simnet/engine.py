@@ -133,6 +133,12 @@ class SimEngine:
         #: External batchers (the network's same-slot delivery drain) must
         #: not advance work past it — see :attr:`run_deadline`.
         self._deadline = math.inf
+        #: When True, :attr:`run_deadline` is an *exclusive* bound: work at
+        #: exactly the deadline instant must not run.  Set by
+        #: :meth:`run_window` — a sharded engine's conservative window ends
+        #: strictly before its bound so the facade can merge-fire the
+        #: boundary instant across shards in global ``(when, seq)`` order.
+        self.deadline_exclusive = False
 
     # -- Clock protocol -----------------------------------------------------
 
@@ -305,12 +311,21 @@ class SimEngine:
 
     # -- execution ------------------------------------------------------------
 
+    def _pop_head(self) -> None:
+        """Discard the head entry that :meth:`_advance` just arranged.
+
+        Engine-structure-specific (batch vs single heap); having it as a
+        primitive lets :meth:`run_window` and the sharded facade's
+        merge-fire loop stay structure-agnostic.
+        """
+        heapq.heappop(self._batch)
+
     def step(self) -> bool:
         """Run the next scheduled callback.  Returns False when idle."""
         entry = self._advance()
         if entry is None:
             return False
-        heapq.heappop(self._batch)
+        self._pop_head()
         self._fire(entry)
         return True
 
@@ -336,6 +351,33 @@ class SimEngine:
         finally:
             self._deadline = math.inf
         self._now = max(self._now, deadline)
+        return fired
+
+    def run_window(self, bound: float) -> int:
+        """Run every callback due *strictly before* ``bound``.
+
+        The conservative-sync primitive: a shard granted the window
+        ``[now, bound)`` by the facade's lookahead discipline may fire
+        everything below the bound, but entries at exactly ``bound`` belong
+        to the barrier instant and are merge-fired across shards in global
+        ``(when, seq)`` order by the facade.  Unlike :meth:`run_until` this
+        does **not** advance the clock to the bound — the facade commits
+        time only once every shard has crossed the barrier.
+        """
+        fired = 0
+        self._deadline = bound
+        self.deadline_exclusive = True
+        try:
+            while True:
+                entry = self._advance()
+                if entry is None or entry.when >= bound:
+                    break
+                self._pop_head()
+                self._fire(entry)
+                fired += 1
+        finally:
+            self._deadline = math.inf
+            self.deadline_exclusive = False
         return fired
 
     def run_until_idle(self, max_events: int = 50_000_000) -> int:
@@ -418,11 +460,14 @@ class HeapSimEngine(SimEngine):
             return head
         return None
 
+    def _pop_head(self) -> None:
+        heapq.heappop(self._heap)
+
     def step(self) -> bool:
         entry = self._advance()
         if entry is None:
             return False
-        heapq.heappop(self._heap)
+        self._pop_head()
         self._fire(entry)
         return True
 
@@ -434,7 +479,7 @@ class HeapSimEngine(SimEngine):
                 entry = self._advance()
                 if entry is None or entry.when > deadline:
                     break
-                heapq.heappop(self._heap)
+                self._pop_head()
                 self._fire(entry)
                 fired += 1
         finally:

@@ -27,6 +27,10 @@ class NoLoss:
     def is_lost(self, size_bytes: int) -> bool:
         return False
 
+    def spawn(self, label: str) -> "NoLoss":
+        """A perfect link is its own stream for every sender."""
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover
         return "NoLoss()"
 
@@ -38,13 +42,28 @@ class BernoulliLoss:
         probability: loss probability in ``[0, 1]``.
         rng: seeded random source (determinism contract: always pass one
             derived from the experiment seed).
+        seed_base: optional string base for :meth:`spawn` — when set, each
+            sender gets a private stream seeded ``f"{seed_base}:{label}"``,
+            making one node's draws independent of how everyone else's
+            traffic interleaves (the property sharded and worker-process
+            runs need).  Without it, :meth:`spawn` keeps the legacy single
+            shared stream.
     """
 
-    def __init__(self, probability: float, rng: random.Random) -> None:
+    def __init__(self, probability: float, rng: random.Random,
+                 seed_base: str | None = None) -> None:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"loss probability out of range: {probability}")
         self.probability = probability
         self._rng = rng
+        self.seed_base = seed_base
+
+    def spawn(self, label: str) -> "BernoulliLoss":
+        """Per-sender draw stream (self when no ``seed_base`` was given)."""
+        if self.seed_base is None:
+            return self
+        return BernoulliLoss(self.probability,
+                             random.Random(f"{self.seed_base}:{label}"))
 
     def is_lost(self, size_bytes: int) -> bool:
         if self.probability == 0.0:
@@ -67,7 +86,8 @@ class GilbertElliottLoss:
     def __init__(self, rng: random.Random,
                  p_good: float = 0.001, p_bad: float = 0.35,
                  p_good_to_bad: float = 0.02,
-                 p_bad_to_good: float = 0.25) -> None:
+                 p_bad_to_good: float = 0.25,
+                 seed_base: str | None = None) -> None:
         for name, value in (("p_good", p_good), ("p_bad", p_bad),
                             ("p_good_to_bad", p_good_to_bad),
                             ("p_bad_to_good", p_bad_to_good)):
@@ -79,6 +99,22 @@ class GilbertElliottLoss:
         self.p_good_to_bad = p_good_to_bad
         self.p_bad_to_good = p_bad_to_good
         self.in_bad_state = False
+        self.seed_base = seed_base
+
+    def spawn(self, label: str) -> "GilbertElliottLoss":
+        """Per-sender channel (self when no ``seed_base`` was given).
+
+        Each sender's spawned channel walks its own good/bad state chain:
+        bursts model *that sender's* radio conditions, independent of the
+        order other senders' packets hit the shared model object.
+        """
+        if self.seed_base is None:
+            return self
+        return GilbertElliottLoss(
+            random.Random(f"{self.seed_base}:{label}"),
+            p_good=self.p_good, p_bad=self.p_bad,
+            p_good_to_bad=self.p_good_to_bad,
+            p_bad_to_good=self.p_bad_to_good)
 
     def is_lost(self, size_bytes: int) -> bool:
         # State transition first, then loss draw in the new state.

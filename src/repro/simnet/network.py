@@ -136,19 +136,26 @@ class Network:
         #: Bumped on every runtime topology mutation.
         self.topology_epoch = 0
         self._topology_listeners: list[TopologyListener] = []
-        #: Same-slot delivery batching (see :meth:`_flush_deliveries`).
+        #: Same-slot delivery batching (see :class:`_DeliveryBatcher`).
         #: ``batched=False`` is the differential escape hatch: one engine
         #: event per delivery, the pre-batching behaviour, histories
         #: asserted byte-identical by the parity tests.
         self.batched = batched
-        #: In-flight packets awaiting delivery, ordered by ``(when, seq)``
-        #: — the exact instant/rank an unbatched ``call_later`` would have
-        #: fired them at (the seq is reserved from the engine's counter).
-        self._pending_deliveries: list[
-            tuple[float, int, SimNode, Packet]] = []
-        self._flush_call: Optional[ScheduledCall] = None
-        self._flush_key: Optional[tuple[float, int]] = None
-        self._in_flush = False
+        #: One delivery batcher per destination engine.  A plain engine
+        #: run has exactly one; under a :class:`ShardedSimEngine` facade
+        #: each shard drains its own deliveries on its own timeline.
+        self._batchers: dict[int, _DeliveryBatcher] = {}
+        #: Per-sender loss streams, resolved lazily from a segment's loss
+        #: model via its ``spawn`` hook (see :mod:`repro.simnet.loss`):
+        #: ``{model: {sender_id: stream}}``.  Per-sender streams make a
+        #: node's loss draws independent of how *other* nodes' traffic
+        #: interleaves — the property that lets disjoint shard groups (and
+        #: worker-process runs) reproduce the combined run's histories.
+        self._loss_streams: dict[LossModel, dict[str, LossModel]] = {}
+        #: Set when :attr:`engine` is a sharded facade (duck-typed on the
+        #: per-node engine resolver) — routing then resolves clocks per
+        #: node and crosses shard bounds through the facade's mailbox.
+        self._facade = engine if hasattr(engine, "engine_for") else None
 
     # -- topology -----------------------------------------------------------
 
@@ -346,6 +353,34 @@ class Network:
             "station; enable native_multicast_wired/wireless_broadcast for "
             "single-segment groups)")
 
+    def clock_for(self, node_id: str) -> SimEngine:
+        """The engine that owns ``node_id``'s timers and deliveries.
+
+        On a plain engine this is the engine itself; under a sharded
+        facade it is the shard hosting the node, so every node's kernel
+        timers and inbound packets live on its own shard's timeline.
+        """
+        if self._facade is not None:
+            return self._facade.engine_for(node_id)
+        return self.engine
+
+    def _sender_loss(self, model: LossModel, sender_id: str) -> LossModel:
+        """Resolve ``sender_id``'s private draw stream of ``model``.
+
+        Models without a ``spawn`` hook (or spawned without a seed base)
+        keep the legacy single shared stream.
+        """
+        spawn = getattr(model, "spawn", None)
+        if spawn is None:
+            return model
+        streams = self._loss_streams.get(model)
+        if streams is None:
+            streams = self._loss_streams[model] = {}
+        stream = streams.get(sender_id)
+        if stream is None:
+            stream = streams[sender_id] = spawn(sender_id)
+        return stream
+
     def _route_one(self, sender: SimNode, packet: Packet, dst_id: str) -> None:
         dst = self.nodes.get(dst_id)
         if dst is None:
@@ -356,77 +391,52 @@ class Network:
             return
         hops = self._hops_between(sender, dst)
         delay = 0.0
+        sender_id = sender.node_id
         for link in hops:
-            if link.loss.is_lost(packet.size_bytes):
+            if self._sender_loss(link.loss, sender_id).is_lost(
+                    packet.size_bytes):
                 self.lost_packets += 1
                 return
             delay += link.delay_for(packet.size_bytes)
         packet.hops = len(hops)
-        engine = self.engine
+        when = self.engine.now() + delay
+        dst_engine = self.clock_for(dst_id)
+        if self._facade is not None:
+            src_engine = self.clock_for(sender_id)
+            if dst_engine is not src_engine:
+                # Crossing a shard boundary: the packet's payload is the
+                # frozen WirePayload snapshot the COW path produced, so
+                # handing it to the peer shard is causality-checked
+                # accounting, not a copy.
+                self._facade.cross_post(src_engine, dst_engine, when,
+                                        packet.size_bytes)
         if not self.batched:
-            engine.call_later(delay, lambda: self._deliver(dst, packet))
+            dst_engine.call_at(when, lambda: self._deliver(dst, packet))
             return
         # Batched path: queue the packet under the exact (when, seq) the
-        # unbatched call_later would have used — reserving the seq keeps
+        # unbatched call_at would have used — reserving the seq keeps
         # every other callback's sequence number (and therefore the whole
         # run's history) bit-identical — and keep one flush entry parked
-        # at the queue head's instant.
-        when = engine.now() + delay
-        seq = engine.reserve_seq()
-        heapq.heappush(self._pending_deliveries, (when, seq, dst, packet))
-        if not self._in_flush and \
-                (self._flush_key is None or (when, seq) < self._flush_key):
-            self._schedule_flush(when, seq)
+        # at the queue head's instant on the destination's engine.
+        seq = self.engine.reserve_seq()
+        self._batcher_for(dst_engine).enqueue(when, seq, dst, packet)
 
-    def _schedule_flush(self, when: float, seq: int) -> None:
-        if self._flush_call is not None:
-            self._flush_call.cancel()
-        self._flush_key = (when, seq)
-        self._flush_call = self.engine.schedule_at_seq(
-            when, seq, self._flush_deliveries)
+    def _batcher_for(self, engine: SimEngine) -> "_DeliveryBatcher":
+        batcher = self._batchers.get(id(engine))
+        if batcher is None:
+            batcher = self._batchers[id(engine)] = \
+                _DeliveryBatcher(self, engine)
+        return batcher
 
-    def _flush_deliveries(self) -> None:
-        """Deliver every queued packet due in this wheel slot, in order.
+    def _peek_for(self, engine: SimEngine) -> Optional[tuple[float, int]]:
+        """Earliest visible engine entry a drain on ``engine`` must respect.
 
-        One engine event drains the whole slot: the flush entry sits at the
-        queue head's reserved ``(when, seq)``, so the engine fires it exactly
-        where the unbatched per-packet callback would have fired.  The drain
-        then keeps delivering queued packets as long as (a) the next one is
-        due before this flush's slot ends — beyond that, wheel entries the
-        peek cannot see could be owed first — (b) no visible engine entry
-        outranks it, and (c) it does not cross the active ``run_until``
-        deadline.  Each delivery advances the virtual clock to its exact
-        instant, so observers cannot tell batching from the per-event path
-        (the differential tests assert byte-identical histories).
+        Under a facade the barrier merge makes entries on *other* engines
+        at the same instant visible too (see the facade's ``peek_for``).
         """
-        self._flush_call = None
-        flush_when = self._flush_key[0]
-        self._flush_key = None
-        engine = self.engine
-        pending = self._pending_deliveries
-        deadline = engine.run_deadline
-        slot_end = (int(flush_when * _INV_SLOT_WIDTH) + 1) * SLOT_WIDTH_S
-        peek_due = engine.peek_due
-        advance_clock = engine.advance_clock
-        deliver = self._deliver
-        pop = heapq.heappop
-        self._in_flush = True
-        try:
-            while pending:
-                when, seq, dst, packet = pending[0]
-                if when >= slot_end or when > deadline:
-                    break
-                nxt = peek_due()
-                if nxt is not None and nxt < (when, seq):
-                    break
-                pop(pending)
-                advance_clock(when)
-                deliver(dst, packet)
-        finally:
-            self._in_flush = False
-        if pending:
-            head = pending[0]
-            self._schedule_flush(head[0], head[1])
+        if self._facade is not None:
+            return self._facade.peek_for(engine)
+        return engine.peek_due()
 
     def _hops_between(self, src: SimNode, dst: SimNode) -> list[LinkParams]:
         if src.is_fixed and dst.is_fixed:
@@ -474,3 +484,81 @@ class Network:
             node.stats.reset()
         self.lost_packets = 0
         self.delivered_packets = 0
+
+
+class _DeliveryBatcher:
+    """Same-slot delivery batching for one destination engine.
+
+    One engine event drains a whole wheel slot of queued deliveries: the
+    flush entry sits at the queue head's reserved ``(when, seq)``, so the
+    engine fires it exactly where the unbatched per-packet callback would
+    have fired.  The drain then keeps delivering queued packets as long as
+    (a) the next one is due before this flush's slot ends — beyond that,
+    wheel entries the peek cannot see could be owed first — (b) no visible
+    engine entry outranks it, and (c) it does not cross the active
+    ``run_until`` deadline (a *strictly-exclusive* bound during a shard's
+    conservative window, so barrier-instant deliveries wait for the
+    facade's merge).  Each delivery advances the virtual clock to its
+    exact instant, so observers cannot tell batching from the per-event
+    path (the differential tests assert byte-identical histories).
+    """
+
+    __slots__ = ("network", "engine", "pending", "_flush_call",
+                 "_flush_key", "_in_flush")
+
+    def __init__(self, network: Network, engine: SimEngine) -> None:
+        self.network = network
+        self.engine = engine
+        #: In-flight packets awaiting delivery, ordered by ``(when, seq)``
+        #: — the exact instant/rank an unbatched ``call_at`` would have
+        #: fired them at (the seq is reserved from the engine's counter).
+        self.pending: list[tuple[float, int, SimNode, Packet]] = []
+        self._flush_call: Optional[ScheduledCall] = None
+        self._flush_key: Optional[tuple[float, int]] = None
+        self._in_flush = False
+
+    def enqueue(self, when: float, seq: int, dst: SimNode,
+                packet: Packet) -> None:
+        heapq.heappush(self.pending, (when, seq, dst, packet))
+        if not self._in_flush and \
+                (self._flush_key is None or (when, seq) < self._flush_key):
+            self._schedule_flush(when, seq)
+
+    def _schedule_flush(self, when: float, seq: int) -> None:
+        if self._flush_call is not None:
+            self._flush_call.cancel()
+        self._flush_key = (when, seq)
+        self._flush_call = self.engine.schedule_at_seq(
+            when, seq, self._flush_deliveries)
+
+    def _flush_deliveries(self) -> None:
+        self._flush_call = None
+        flush_when = self._flush_key[0]
+        self._flush_key = None
+        engine = self.engine
+        pending = self.pending
+        deadline = engine.run_deadline
+        exclusive = engine.deadline_exclusive
+        slot_end = (int(flush_when * _INV_SLOT_WIDTH) + 1) * SLOT_WIDTH_S
+        peek = self.network._peek_for
+        advance_clock = engine.advance_clock
+        deliver = self.network._deliver
+        pop = heapq.heappop
+        self._in_flush = True
+        try:
+            while pending:
+                when, seq, dst, packet = pending[0]
+                if when >= slot_end or when > deadline or \
+                        (exclusive and when >= deadline):
+                    break
+                nxt = peek(engine)
+                if nxt is not None and nxt < (when, seq):
+                    break
+                pop(pending)
+                advance_clock(when)
+                deliver(dst, packet)
+        finally:
+            self._in_flush = False
+        if pending:
+            head = pending[0]
+            self._schedule_flush(head[0], head[1])

@@ -1,0 +1,468 @@
+"""Sharded simulation — per-segment event loops under conservative lookahead.
+
+The single :class:`~repro.simnet.engine.SimEngine` owns one timeline for
+the whole world; that is the scale ceiling ROADMAP direction 1 names.
+This module splits the world along a :class:`ShardPlan` — partition-
+disjoint node groups, typically one per network segment or partition
+component — and runs each group on its own engine, synchronized with the
+classic conservative (null-message) discipline:
+
+* **lookahead** is the minimum cross-shard link latency.  An event a
+  shard executes at time ``t`` cannot affect another shard before
+  ``t + lookahead``, so every shard may safely run the window
+  ``[front, front + lookahead)`` before re-synchronizing.  Plans with no
+  cross-shard links (disjoint segments, partition components) have
+  infinite lookahead and synchronize only at control barriers.
+* **control barriers** — scenario events, joiner arrivals, chat bursts —
+  live on a *control engine*.  Windows run strictly below the next
+  barrier instant; the barrier instant itself is **merge-fired**: the
+  facade repeatedly pops the globally smallest ``(when, seq)`` entry
+  across the control engine and every shard, so same-instant callbacks
+  interleave exactly as on a single engine.
+* **one sequence stream** — the control engine and every shard draw
+  scheduling sequence numbers from one shared counter, making
+  ``(when, seq)`` a *global* total order.  For single-group plans this
+  reproduces the sequential engine's tie-breaking bit-for-bit (the
+  sharded-vs-sequential parity gate); for multi-group plans results are
+  shard-count-invariant and deterministic.
+* **cross-shard packets** travel through :class:`CrossShardMailbox`.
+  Packets on the wire already carry frozen ``WirePayload`` snapshots
+  (the PR 7 copy-on-write path), so nothing alive crosses a shard
+  boundary; the mailbox enforces causality (an arrival must not land in
+  the destination shard's past — if it ever would, the lookahead bound
+  was wrong and :class:`CausalityError` says so loudly) and counts the
+  traffic that the crossover benchmark charges against the speedup.
+
+:class:`ShardedSimEngine` presents the same ``now`` / ``call_later`` /
+``call_at`` / ``pending`` / ``fired_count`` / ``run_until`` surface as
+``SimEngine``, so ``ScenarioRunner(engine_factory=ShardedSimEngine)``
+works unchanged — scenarios, invariant hooks, and the ``HeapSimEngine``
+differential oracle (pass ``engine_factory=HeapSimEngine`` to build the
+facade over reference heaps) all run as before.
+
+True multi-core parallelism comes from
+:mod:`repro.scenarios.sharded`, which runs disjoint segments in worker
+processes; this facade is the in-process semantic model those runs are
+checked against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Optional, Sequence
+
+from .engine import ScheduledCall, SimEngine
+
+
+class CausalityError(RuntimeError):
+    """A cross-shard event would arrive in the destination shard's past.
+
+    Raised by the mailbox when a posted arrival time precedes the
+    destination engine's clock — the conservative discipline's invariant
+    was violated, which means the plan's lookahead overstates the true
+    minimum cross-shard latency.
+    """
+
+
+class ShardPlan:
+    """Partition of the simulated node population into disjoint groups.
+
+    ``groups`` are disjoint node-id sets; ``links`` are
+    ``(group_a, group_b, min_latency_s)`` triples for every pair of
+    groups that can exchange packets.  The smallest link latency is the
+    conservative lookahead bound; no links means infinite lookahead
+    (fully disjoint segments — the cross-segment-light case where
+    sharding wins).
+    """
+
+    def __init__(self, groups: Iterable[Iterable[str]],
+                 links: Iterable[tuple[int, int, float]] = (),
+                 shard_count: int = 1) -> None:
+        self.groups: tuple[frozenset[str], ...] = \
+            tuple(frozenset(g) for g in groups)
+        if not self.groups:
+            raise ValueError("a shard plan needs at least one group")
+        self.links = tuple((int(a), int(b), float(lat)) for a, b, lat in links)
+        self.shard_count = max(1, int(shard_count))
+        self._group_of: dict[str, int] = {}
+        for index, nodes in enumerate(self.groups):
+            for node_id in nodes:
+                if node_id in self._group_of:
+                    raise ValueError(
+                        f"node {node_id!r} appears in more than one group")
+                self._group_of[node_id] = index
+        for a, b, lat in self.links:
+            if not (0 <= a < len(self.groups) and 0 <= b < len(self.groups)):
+                raise ValueError(f"link ({a}, {b}) names an unknown group")
+            if a == b:
+                raise ValueError(f"link ({a}, {b}) is not cross-group")
+            if lat <= 0:
+                raise ValueError(
+                    f"cross-group latency must be positive, got {lat}")
+
+    @property
+    def lookahead(self) -> float:
+        """Conservative window width: the smallest cross-group latency."""
+        if not self.links:
+            return math.inf
+        return min(lat for _, _, lat in self.links)
+
+    def group_of(self, node_id: str) -> int:
+        """Group index hosting ``node_id``.
+
+        A single-group plan is a catch-all — every node id maps to group
+        0 even if it was never enumerated (so ``ShardedSimEngine()`` with
+        the default plan accepts any scenario).  Multi-group plans are
+        strict: an unplanned node is a partitioning bug.
+        """
+        try:
+            return self._group_of[node_id]
+        except KeyError:
+            if len(self.groups) == 1:
+                return 0
+            raise KeyError(
+                f"node {node_id!r} is not in any shard-plan group") from None
+
+    def assignment(self) -> tuple[tuple[int, ...], ...]:
+        """Round-robin hosting of groups onto ``shard_count`` workers."""
+        shards: list[list[int]] = [[] for _ in range(self.shard_count)]
+        for index in range(len(self.groups)):
+            shards[index % self.shard_count].append(index)
+        return tuple(tuple(s) for s in shards)
+
+    @classmethod
+    def single(cls) -> "ShardPlan":
+        """The catch-all one-group plan (sequential-equivalent)."""
+        return cls([()])
+
+    @classmethod
+    def from_network(cls, network, shard_count: int = 1) -> "ShardPlan":
+        """Partition by the network's current partition components.
+
+        Nodes inside a declared partition group form one shard group
+        each; nodes outside every group are unreachable from everyone
+        (the ``Network.reachable`` contract) and become singleton groups.
+        Partitioned components cannot exchange packets, so the plan has
+        no cross links and infinite lookahead.  An unpartitioned network
+        collapses to the single catch-all group.
+        """
+        node_ids = list(network.nodes)
+        partitions = getattr(network, "_partitions", None)
+        if not partitions:
+            return cls([node_ids], shard_count=shard_count)
+        groups: list[set[str]] = []
+        grouped: set[str] = set()
+        for component in partitions:
+            members = set(component) & set(node_ids)
+            if members:
+                groups.append(members)
+                grouped.update(members)
+        for node_id in node_ids:
+            if node_id not in grouped:
+                groups.append({node_id})
+        return cls(groups, shard_count=shard_count)
+
+    @classmethod
+    def for_groups(cls, network, groups: Sequence[Iterable[str]],
+                   shard_count: int = 1) -> "ShardPlan":
+        """Explicit groups over a connected network, links measured.
+
+        For every pair of groups that can reach each other, the minimum
+        path latency (sum of per-hop link latencies, both directions) is
+        recorded as the pair's link — so :attr:`lookahead` is the
+        measured minimum cross-shard link latency the conservative
+        discipline needs.
+        """
+        group_sets = [list(g) for g in groups]
+        links: list[tuple[int, int, float]] = []
+        for a in range(len(group_sets)):
+            for b in range(a + 1, len(group_sets)):
+                lat = _min_cross_latency(network, group_sets[a], group_sets[b])
+                if lat is not None:
+                    links.append((a, b, lat))
+        return cls(group_sets, links, shard_count=shard_count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ",".join(str(len(g)) for g in self.groups)
+        return (f"<ShardPlan groups=[{sizes}] links={len(self.links)} "
+                f"lookahead={self.lookahead} shards={self.shard_count}>")
+
+
+def _min_cross_latency(network, group_a: Sequence[str],
+                       group_b: Sequence[str]) -> Optional[float]:
+    """Minimum one-way path latency between any reachable cross pair."""
+    best: Optional[float] = None
+    for src_id, dst_id in _cross_pairs(group_a, group_b):
+        src = network.nodes.get(src_id)
+        dst = network.nodes.get(dst_id)
+        if src is None or dst is None:
+            continue
+        if not network.reachable(src_id, dst_id):
+            continue
+        latency = sum(hop.latency_s for hop in network._hops_between(src, dst))
+        if best is None or latency < best:
+            best = latency
+    return best
+
+
+def _cross_pairs(group_a, group_b):
+    for a in group_a:
+        for b in group_b:
+            yield a, b
+            yield b, a
+
+
+class CrossShardMailbox:
+    """Causality guard + accounting for packets crossing shard boundaries.
+
+    In-process shards share memory, so "posting" a packet is simply
+    scheduling its delivery on the destination shard's engine — what
+    crosses is the packet's frozen ``WirePayload`` snapshot, never live
+    kernel state.  The mailbox's job is the conservative-discipline
+    assertion (arrivals must land at or after the destination clock) and
+    the traffic ledger the crossover benchmark reads: when cross-shard
+    chatter grows, these counters are the measured cost that eats the
+    parallel win.
+    """
+
+    def __init__(self) -> None:
+        self.posted = 0
+        self.bytes = 0
+        self.by_pair: dict[tuple[int, int], int] = {}
+
+    def post(self, src_group: int, dst_group: int, when: float,
+             dst_now: float, size_bytes: int) -> None:
+        if when < dst_now:
+            raise CausalityError(
+                f"cross-shard packet from group {src_group} arrives at "
+                f"{when:.6f}s but group {dst_group} already reached "
+                f"{dst_now:.6f}s — the plan's lookahead bound is wrong")
+        self.posted += 1
+        self.bytes += size_bytes
+        pair = (src_group, dst_group)
+        self.by_pair[pair] = self.by_pair.get(pair, 0) + 1
+
+
+class ShardedSimEngine:
+    """Facade presenting N shard engines + a control engine as one clock.
+
+    Drop-in for ``SimEngine`` where it matters to the scenario layer:
+    ``now()``, ``call_later``, ``call_at``, ``reserve_seq``, ``pending``,
+    ``fired_count``, ``run_until``, ``run_until_idle``.  Scheduling is
+    routed to wherever the caller *stands*: a callback running inside a
+    shard's window schedules onto that shard (local causality), anything
+    scheduled from outside a run — scenario population, event schedules
+    — lands on the control engine and defines the barrier instants.
+
+    ``engine_factory`` builds the sub-engines, so the facade composes
+    with the differential oracle: ``ShardedSimEngine`` over
+    ``HeapSimEngine`` must be observably identical to the facade over
+    timer wheels.
+    """
+
+    def __init__(self, plan: Optional[ShardPlan] = None,
+                 shards: Optional[int] = None,
+                 engine_factory: Callable[[], SimEngine] = SimEngine) -> None:
+        self.plan = plan if plan is not None else ShardPlan.single()
+        self.shards = shards if shards is not None else self.plan.shard_count
+        self._control = engine_factory()
+        # One shared sequence stream: (when, seq) totally orders entries
+        # across every sub-engine, which is what makes barrier merges (and
+        # single-group parity with the sequential engine) exact.
+        self._seq = self._control._seq
+        self._group_engines: list[SimEngine] = []
+        for index in range(len(self.plan.groups)):
+            engine = engine_factory()
+            engine._seq = self._seq
+            engine.shard_group = index
+            self._group_engines.append(engine)
+        self._control.shard_group = None
+        self._all: tuple[SimEngine, ...] = (self._control,
+                                            *self._group_engines)
+        self._committed = 0.0
+        self._active: Optional[SimEngine] = None
+        self._merge_active = False
+        self.mailbox = CrossShardMailbox()
+        #: Diagnostics: conservative windows executed / barrier merges run.
+        self.windows = 0
+        self.barriers = 0
+
+    # -- Clock surface ------------------------------------------------------
+
+    def now(self) -> float:
+        if self._active is not None:
+            return self._active._now
+        return self._committed
+
+    def call_later(self, delay: float,
+                   callback: Callable[[], None]) -> ScheduledCall:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        target = self._active if self._active is not None else self._control
+        return target.call_at(target._now + delay, callback)
+
+    def call_at(self, when: float,
+                callback: Callable[[], None]) -> ScheduledCall:
+        target = self._active if self._active is not None else self._control
+        return target.call_at(when, callback)
+
+    def reserve_seq(self) -> int:
+        return next(self._seq)
+
+    @property
+    def pending(self) -> int:
+        return sum(engine.pending for engine in self._all)
+
+    @property
+    def fired_count(self) -> int:
+        return sum(engine.fired_count for engine in self._all)
+
+    @property
+    def overflow_scheduled(self) -> int:
+        return sum(engine.overflow_scheduled for engine in self._all)
+
+    # -- shard resolution ---------------------------------------------------
+
+    def engine_for(self, node_id: str) -> SimEngine:
+        """The shard engine hosting ``node_id``'s timers and deliveries."""
+        return self._group_engines[self.plan.group_of(node_id)]
+
+    def cross_post(self, src_engine: SimEngine, dst_engine: SimEngine,
+                   when: float, size_bytes: int) -> None:
+        """Record (and causality-check) a packet crossing shard bounds."""
+        self.mailbox.post(src_engine.shard_group, dst_engine.shard_group,
+                          when, dst_engine._now, size_bytes)
+
+    def peek_for(self, engine: SimEngine) -> Optional[tuple[float, int]]:
+        """Earliest visible ``(when, seq)`` relevant to ``engine``'s drain.
+
+        Outside a barrier merge this is the engine's own peek (other
+        shards' heads are unobservable — disjoint state — and the control
+        engine holds nothing before the window bound by construction).
+        During a merge every engine sits at the same instant, so the
+        drain must yield to an earlier-``seq`` entry on *any* engine to
+        reproduce the single-engine interleaving.
+        """
+        if not self._merge_active:
+            return engine.peek_due()
+        best: Optional[tuple[float, int]] = None
+        for candidate in self._all:
+            peeked = candidate.peek_due()
+            if peeked is not None and (best is None or peeked < best):
+                best = peeked
+        return best
+
+    # -- execution ----------------------------------------------------------
+
+    def _run_window(self, engine: SimEngine, bound: float) -> int:
+        self._active = engine
+        try:
+            fired = engine.run_window(bound)
+        finally:
+            self._active = None
+        self.windows += 1
+        return fired
+
+    def _merge_instant(self, barrier: float) -> int:
+        """Fire every entry due at exactly ``barrier``, in global order.
+
+        Pops the smallest ``(when, seq)`` across the control engine and
+        all shards until nothing at the barrier instant remains; fired
+        callbacks may schedule more work at the same instant (zero-delay
+        cascades), which the loop picks up on the next scan.
+        """
+        self.barriers += 1
+        self._merge_active = True
+        engines = self._all
+        for engine in engines:
+            engine._deadline = barrier
+            # Every engine has run out its window below the barrier, so
+            # committing the barrier instant to all clocks is safe — and
+            # required: a control callback (scenario event, chat burst)
+            # touches node kernels whose timers schedule against *their
+            # shard's* clock, which must read the barrier time, not the
+            # instant of the shard's last fired entry.
+            engine.advance_clock(barrier)
+        fired = 0
+        try:
+            while True:
+                best_key = None
+                best_engine = None
+                best_entry = None
+                for engine in engines:
+                    entry = engine._advance()
+                    if entry is None or entry.when > barrier:
+                        continue
+                    key = (entry.when, entry.seq)
+                    if best_key is None or key < best_key:
+                        best_key, best_engine, best_entry = key, engine, entry
+                if best_engine is None:
+                    break
+                best_engine._pop_head()
+                self._active = best_engine
+                try:
+                    best_engine._fire(best_entry)
+                finally:
+                    self._active = None
+                fired += 1
+        finally:
+            self._merge_active = False
+            for engine in engines:
+                engine._deadline = math.inf
+        return fired
+
+    def run_until(self, deadline: float) -> int:
+        """Run every callback due up to ``deadline``; time ends there.
+
+        Alternates conservative windows (strictly below the next control
+        barrier, chunked by the plan's lookahead when shards are linked)
+        with barrier merges, until the deadline barrier itself has been
+        merged.
+        """
+        before = self.fired_count
+        lookahead = self.plan.lookahead
+        chunked = len(self._group_engines) > 1 and lookahead < math.inf
+        while True:
+            head = self._control._advance()
+            next_control = head.when if head is not None else math.inf
+            barrier = min(next_control, deadline)
+            if chunked:
+                front = self._committed
+                while front < barrier:
+                    window = min(front + lookahead, barrier)
+                    for engine in self._group_engines:
+                        self._run_window(engine, window)
+                    front = window
+            else:
+                for engine in self._group_engines:
+                    self._run_window(engine, barrier)
+            self._merge_instant(barrier)
+            self._committed = max(self._committed, barrier)
+            if barrier >= deadline:
+                break
+        for engine in self._all:
+            engine._now = max(engine._now, deadline)
+        self._committed = max(self._committed, deadline)
+        return self.fired_count - before
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> int:
+        """Run until no callbacks remain anywhere.  Guards livelock."""
+        fired = 0
+        while True:
+            next_when = math.inf
+            for engine in self._all:
+                entry = engine._advance()
+                if entry is not None and entry.when < next_when:
+                    next_when = entry.when
+            if next_when is math.inf:
+                break
+            fired += self.run_until(next_when)
+            if fired > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; livelock?")
+        return fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ShardedSimEngine groups={len(self._group_engines)} "
+                f"shards={self.shards} t={self._committed:.6f}s "
+                f"pending={self.pending}>")

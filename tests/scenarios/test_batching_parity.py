@@ -28,7 +28,7 @@ from repro.scenarios.runner import run_scenario
 from repro.simnet.engine import HeapSimEngine
 
 CANNED = ["commuter_handoff", "flash_crowd_join", "degrading_channel_fec",
-          "churn_storm", "partition_heal"]
+          "churn_storm", "partition_heal", "energy_rotation"]
 
 
 def _without_engine_events(result):

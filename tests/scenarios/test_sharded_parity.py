@@ -1,0 +1,134 @@
+"""The sharded determinism gate: sharded runs must equal sequential runs.
+
+Two tiers, matching the two composition shapes:
+
+* **single group** — the facade hosts the whole scenario in one shard
+  group sharing one sequence stream with the control engine, so the
+  contract is *full byte-identical* ``ScenarioResult`` equality
+  (``engine_events`` included) against the plain sequential engine, for
+  every canned scenario, over both wheel and reference-heap sub-engines.
+* **multi group** — disjoint segments composed by
+  :class:`ShardedScenarioRunner`.  Same-instant callbacks of different
+  segments share no state and have no defined mutual order, so the
+  contract is per-segment :func:`projection` equality across all
+  execution modes: one sequential engine, the sharded facade at shard
+  counts 1/2/4, and solo per-segment worker processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios.library import canned, churn_storm
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.scenario import SetLoss, bernoulli
+from repro.scenarios.sharded import (ShardedScenarioRunner,
+                                     check_segment_isolation,
+                                     merge_solo_results, projection,
+                                     relabel_scenario, run_segments_parallel)
+from repro.simnet.engine import HeapSimEngine, SimEngine
+from repro.simnet.shard import ShardedSimEngine
+
+CANNED = ["commuter_handoff", "flash_crowd_join", "degrading_channel_fec",
+          "churn_storm", "partition_heal", "energy_rotation"]
+
+
+def _facade(engine_cls, shards):
+    return lambda: ShardedSimEngine(shards=shards, engine_factory=engine_cls)
+
+
+class TestSingleGroupParity:
+    @pytest.mark.parametrize("name", CANNED)
+    def test_facade_is_byte_identical_to_sequential(self, name):
+        sequential = run_scenario(canned(name))
+        sharded = run_scenario(canned(name),
+                               engine_factory=_facade(SimEngine, 2))
+        assert sequential == sharded  # engine_events included
+
+    @pytest.mark.parametrize("name", ["churn_storm", "partition_heal"])
+    def test_facade_over_heap_oracle_agrees_too(self, name):
+        sequential = run_scenario(canned(name))
+        sharded = run_scenario(canned(name),
+                               engine_factory=_facade(HeapSimEngine, 4))
+        assert sequential == sharded
+
+
+def _segments(count=3, members=5, messages=10):
+    template = churn_storm(members=members, messages=messages,
+                           duration_s=55.0)
+    return [relabel_scenario(template, prefix=f"s{index}-",
+                             name=f"seg{index}")
+            for index in range(count)]
+
+
+class TestMultiGroupComposition:
+    def test_every_execution_mode_agrees(self):
+        segments = _segments()
+        sequential = ShardedScenarioRunner(
+            segments, seed=5, engine_factory=SimEngine).run()
+        expected = projection(sequential)
+        for shards in (1, 2, 4):
+            sharded = ShardedScenarioRunner(segments, seed=5,
+                                            shards=shards).run()
+            assert projection(sharded) == expected
+        solo = run_segments_parallel(segments, seed=5, workers=2)
+        assert merge_solo_results(solo) == expected
+
+    def test_heap_sub_engines_agree(self):
+        from repro.simnet.shard import ShardPlan
+        segments = _segments(count=2)
+        sequential = ShardedScenarioRunner(
+            segments, seed=9, engine_factory=SimEngine).run()
+        plan = ShardPlan(tuple(
+            frozenset(spec.node_id for spec in segment.nodes)
+            for segment in segments))
+        heap = ShardedScenarioRunner(
+            segments, seed=9,
+            engine_factory=lambda: ShardedSimEngine(
+                plan=plan, engine_factory=HeapSimEngine)).run()
+        assert projection(heap) == projection(sequential)
+
+    def test_segment_isolation_invariant_holds(self):
+        segments = _segments(count=2)
+        runner = ShardedScenarioRunner(segments, seed=1, shards=2)
+        result = runner.run()
+        assert check_segment_isolation(runner, result) == []
+        # Every segment delivered its own chat stream.
+        for segment in segments:
+            sender = f"{segment.nodes[0].node_id}"
+            assert any(result.texts[node_id]
+                       for node_id in result.texts
+                       if node_id.startswith(sender.split("-")[0]))
+
+    def test_deliveries_actually_happened(self):
+        segments = _segments(count=2)
+        result = ShardedScenarioRunner(segments, seed=2, shards=2).run()
+        assert result.delivered_packets > 0
+        # Both segments' survivors got the full chat stream.
+        for prefix in ("s0-", "s1-"):
+            receivers = [texts for node_id, texts in result.texts.items()
+                         if node_id.startswith(prefix) and texts]
+            assert receivers, f"no deliveries in segment {prefix}"
+
+
+class TestCompositionValidation:
+    def test_relabel_rejects_network_global_events(self):
+        scenario = canned("degrading_channel_fec")
+        assert any(isinstance(event, SetLoss) for event in scenario.events)
+        with pytest.raises(ValueError, match="network-global"):
+            relabel_scenario(scenario, prefix="s0-")
+
+    def test_overlapping_segments_rejected(self):
+        template = churn_storm(members=5, messages=5, duration_s=55.0)
+        same = relabel_scenario(template, prefix="s0-")
+        with pytest.raises(ValueError, match="share node ids"):
+            ShardedScenarioRunner([same, same], seed=0)
+
+    def test_relabel_prefixes_everything(self):
+        template = churn_storm(members=5, messages=5, duration_s=55.0)
+        segment = relabel_scenario(template, prefix="s7-", name="seven")
+        assert segment.name == "seven"
+        assert all(spec.node_id.startswith("s7-") for spec in segment.nodes)
+        assert all(event.node.startswith("s7-") for event in segment.events)
+        assert all(burst.sender.startswith("s7-")
+                   for burst in segment.workload)

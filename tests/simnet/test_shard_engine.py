@@ -1,0 +1,276 @@
+"""Unit proofs for the sharded engine: plans, windows, barrier merges.
+
+The scenario-level determinism gate lives in
+``tests/scenarios/test_sharded_parity.py``; this file pins the mechanics
+with synthetic callbacks — where entries land, how conservative windows
+chunk under a finite lookahead, the global ``(when, seq)`` order of a
+barrier merge, and the causality guard on cross-shard posts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simnet.engine import HeapSimEngine, SimEngine
+from repro.simnet.network import Network
+from repro.simnet.node import NodeKind
+from repro.simnet.shard import (CausalityError, CrossShardMailbox, ShardPlan,
+                                ShardedSimEngine)
+
+
+class TestShardPlan:
+    def test_needs_at_least_one_group(self):
+        with pytest.raises(ValueError, match="at least one group"):
+            ShardPlan([])
+
+    def test_rejects_node_in_two_groups(self):
+        with pytest.raises(ValueError, match="more than one group"):
+            ShardPlan([{"a", "b"}, {"b"}])
+
+    def test_rejects_bad_links(self):
+        with pytest.raises(ValueError, match="unknown group"):
+            ShardPlan([{"a"}, {"b"}], links=[(0, 5, 0.1)])
+        with pytest.raises(ValueError, match="not cross-group"):
+            ShardPlan([{"a"}, {"b"}], links=[(1, 1, 0.1)])
+        with pytest.raises(ValueError, match="positive"):
+            ShardPlan([{"a"}, {"b"}], links=[(0, 1, 0.0)])
+
+    def test_lookahead_is_min_link_latency(self):
+        plan = ShardPlan([{"a"}, {"b"}, {"c"}],
+                         links=[(0, 1, 0.5), (1, 2, 0.002)])
+        assert plan.lookahead == 0.002
+
+    def test_no_links_means_infinite_lookahead(self):
+        assert ShardPlan([{"a"}, {"b"}]).lookahead == math.inf
+
+    def test_single_group_plan_is_catch_all(self):
+        plan = ShardPlan.single()
+        assert plan.group_of("anything") == 0
+        assert plan.group_of("else") == 0
+
+    def test_multi_group_plan_is_strict(self):
+        plan = ShardPlan([{"a"}, {"b"}])
+        assert plan.group_of("a") == 0
+        assert plan.group_of("b") == 1
+        with pytest.raises(KeyError, match="not in any shard-plan group"):
+            plan.group_of("stranger")
+
+    def test_assignment_round_robins_groups_onto_shards(self):
+        plan = ShardPlan([{"a"}, {"b"}, {"c"}, {"d"}, {"e"}], shard_count=2)
+        assert plan.assignment() == ((0, 2, 4), (1, 3))
+
+    def test_from_network_without_partitions_is_one_group(self):
+        network = Network(SimEngine())
+        network.add_node("x", NodeKind.FIXED)
+        network.add_node("y", NodeKind.MOBILE)
+        plan = ShardPlan.from_network(network)
+        assert len(plan.groups) == 1
+        assert plan.lookahead == math.inf
+
+    def test_from_network_follows_partition_components(self):
+        network = Network(SimEngine())
+        for node_id in ("a", "b", "c", "d"):
+            network.add_node(node_id, NodeKind.FIXED)
+        network.partition({"a", "b"}, {"c"})
+        plan = ShardPlan.from_network(network)
+        # {a,b} and {c} from the partition; d (in no group — unreachable
+        # from everyone) becomes a singleton.
+        assert sorted(sorted(g) for g in plan.groups) == \
+            [["a", "b"], ["c"], ["d"]]
+        assert plan.links == ()
+
+    def test_for_groups_measures_min_cross_latency(self):
+        network = Network(SimEngine())
+        network.add_node("f0", NodeKind.FIXED)
+        network.add_node("f1", NodeKind.FIXED)
+        network.add_node("m0", NodeKind.MOBILE)
+        plan = ShardPlan.for_groups(network, [{"f0"}, {"f1", "m0"}])
+        assert len(plan.links) == 1
+        (a, b, latency), = plan.links
+        # The cheapest cross pair is fixed→fixed: one wired hop.
+        assert (a, b) == (0, 1)
+        assert latency == network.wired.latency_s
+        assert plan.lookahead == latency
+
+
+class TestMailbox:
+    def test_counts_traffic_by_pair(self):
+        mailbox = CrossShardMailbox()
+        mailbox.post(0, 1, when=2.0, dst_now=1.0, size_bytes=7)
+        mailbox.post(0, 1, when=3.0, dst_now=1.0, size_bytes=5)
+        mailbox.post(1, 0, when=2.5, dst_now=2.5, size_bytes=1)
+        assert mailbox.posted == 3
+        assert mailbox.bytes == 13
+        assert mailbox.by_pair == {(0, 1): 2, (1, 0): 1}
+
+    def test_arrival_in_the_past_is_a_causality_error(self):
+        mailbox = CrossShardMailbox()
+        with pytest.raises(CausalityError, match="lookahead bound is wrong"):
+            mailbox.post(0, 1, when=1.0, dst_now=2.0, size_bytes=10)
+
+
+class TestFacadeSurface:
+    def test_outside_scheduling_lands_on_control_engine(self):
+        engine = ShardedSimEngine()
+        fired = []
+        engine.call_later(1.0, lambda: fired.append(engine.now()))
+        engine.call_at(2.0, lambda: fired.append(engine.now()))
+        assert engine.pending == 2
+        engine.run_until(3.0)
+        assert fired == [1.0, 2.0]
+        assert engine.now() == 3.0
+        assert engine.fired_count == 2
+        assert engine.pending == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="negative delay"):
+            ShardedSimEngine().call_later(-0.1, lambda: None)
+
+    def test_callbacks_reschedule_onto_their_own_shard(self):
+        plan = ShardPlan([{"a"}, {"b"}])
+        engine = ShardedSimEngine(plan=plan)
+        shard_a = engine.engine_for("a")
+        shard_b = engine.engine_for("b")
+        assert shard_a is not shard_b
+
+        def tick():
+            # "Schedule where you stand": inside a's window this must
+            # land back on shard a, not on the control engine.
+            if engine.now() < 3.0:
+                engine.call_later(1.0, tick)
+
+        shard_a.call_at(1.0, tick)
+        engine.run_until(5.0)
+        assert shard_a.fired_count == 3  # t = 1, 2, 3
+        assert shard_b.fired_count == 0
+        assert engine._control.fired_count == 0
+
+    def test_run_until_idle_drains_everything(self):
+        plan = ShardPlan([{"a"}, {"b"}])
+        engine = ShardedSimEngine(plan=plan)
+        fired = []
+        engine.engine_for("a").call_at(4.0, lambda: fired.append("a"))
+        engine.engine_for("b").call_at(2.0, lambda: fired.append("b"))
+        engine.call_at(3.0, lambda: fired.append("control"))
+        engine.run_until_idle()
+        assert fired == ["b", "control", "a"]
+        assert engine.pending == 0
+
+
+class TestBarrierMerge:
+    def test_same_instant_entries_fire_in_global_seq_order(self):
+        plan = ShardPlan([{"a"}, {"b"}])
+        engine = ShardedSimEngine(plan=plan)
+        order = []
+        engine.engine_for("a").call_at(2.0, lambda: order.append("a"))
+        engine.engine_for("b").call_at(2.0, lambda: order.append("b"))
+        engine.call_at(2.0, lambda: order.append("control"))
+        engine.run_until(2.0)
+        # Allocation order is a, b, control — the merge must reproduce it.
+        assert order == ["a", "b", "control"]
+
+    def test_zero_delay_cascade_fires_within_the_merge(self):
+        engine = ShardedSimEngine()
+        order = []
+
+        def barrier_event():
+            order.append("event")
+            engine.call_later(0.0, lambda: order.append("cascade"))
+
+        engine.call_at(1.0, barrier_event)
+        engine.run_until(1.0)
+        assert order == ["event", "cascade"]
+        assert engine.now() == 1.0
+
+    def test_merge_commits_the_barrier_clock_to_every_shard(self):
+        plan = ShardPlan([{"a"}, {"b"}])
+        engine = ShardedSimEngine(plan=plan)
+        shard_a = engine.engine_for("a")
+        seen = []
+        # Shard a last fires at 1.25; the control event at 2.0 then
+        # schedules onto shard a — against the *barrier* clock, not the
+        # shard's stale 1.25.
+        shard_a.call_at(1.25, lambda: None)
+        engine.call_at(
+            2.0, lambda: shard_a.call_later(0.5, lambda: seen.append(
+                engine.now())))
+        engine.run_until(3.0)
+        assert seen == [2.5]
+
+
+class TestConservativeWindows:
+    def test_finite_lookahead_chunks_windows(self):
+        plan = ShardPlan([{"a"}, {"b"}], links=[(0, 1, 0.5)])
+        engine = ShardedSimEngine(plan=plan)
+        engine.engine_for("a").call_at(1.9, lambda: None)
+        engine.run_until(2.0)
+        # [0, 2.0) in 0.5 chunks = 4 windows per group.
+        assert engine.windows == 8
+
+    def test_cross_shard_arrival_respects_lookahead(self):
+        plan = ShardPlan([{"a"}, {"b"}], links=[(0, 1, 0.5)])
+        engine = ShardedSimEngine(plan=plan)
+        shard_b = engine.engine_for("b")
+        arrivals = []
+
+        def send_from_a():
+            when = engine.now() + 0.5  # exactly the lookahead bound
+            engine.cross_post(engine.engine_for("a"), shard_b, when, 64)
+            shard_b.call_at(when, lambda: arrivals.append(engine.now()))
+
+        engine.engine_for("a").call_at(0.25, send_from_a)
+        engine.run_until(2.0)
+        assert arrivals == [0.75]
+        assert engine.mailbox.posted == 1
+        assert engine.mailbox.by_pair == {(0, 1): 1}
+
+    def test_understated_latency_raises_causality_error(self):
+        # The plan promises >= 0.5s cross-shard latency; a 0.1s packet
+        # sent mid-window lands in the destination's executed past.
+        # Group b is listed first so its window runs (and its clock
+        # advances past the bogus arrival) before a posts.
+        plan = ShardPlan([{"b"}, {"a"}], links=[(0, 1, 0.5)])
+        engine = ShardedSimEngine(plan=plan)
+        shard_b = engine.engine_for("b")
+        shard_b.call_at(0.95, lambda: None)  # b's clock reaches 0.95
+
+        def lying_send():
+            engine.cross_post(engine.engine_for("a"), shard_b,
+                              engine.now() + 0.1, 64)
+
+        engine.engine_for("a").call_at(0.55, lying_send)
+        with pytest.raises(CausalityError):
+            engine.run_until(1.0)
+
+
+class TestDeterminism:
+    @staticmethod
+    def _synthetic_run(shards, engine_factory=SimEngine):
+        plan = ShardPlan([{"a"}, {"b"}, {"c"}], links=[(0, 1, 0.25)],
+                         shard_count=shards)
+        engine = ShardedSimEngine(plan=plan, engine_factory=engine_factory)
+        order = []
+
+        def tick(label, period):
+            def fire():
+                order.append((label, round(engine.now(), 6)))
+                if engine.now() + period <= 4.0:
+                    engine.call_later(period, fire)
+            return fire
+
+        for index, label in enumerate(("a", "b", "c")):
+            engine.engine_for(label).call_at(0.1 + 0.05 * index,
+                                             tick(label, 0.3 + 0.1 * index))
+        engine.call_at(1.7, lambda: order.append(("control", 1.7)))
+        engine.run_until(4.5)
+        return order
+
+    def test_shard_count_never_changes_the_history(self):
+        baseline = self._synthetic_run(1)
+        assert self._synthetic_run(2) == baseline
+        assert self._synthetic_run(4) == baseline
+
+    def test_heap_sub_engines_agree_with_wheels(self):
+        assert self._synthetic_run(2, HeapSimEngine) == self._synthetic_run(2)
